@@ -1,0 +1,45 @@
+// Ablation A1 (Thm 3.1): LIS cordon rounds == k, work stays O(n log k)
+// across input shapes with wildly different parallelism.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/lis/lis.hpp"
+#include "src/parallel/random.hpp"
+
+using namespace cordon;
+
+int main() {
+  const std::size_t n = bench::env_size("CORDON_BENCH_N", 1u << 21);
+  bench::print_header("A1: LIS rounds == k across input shapes",
+                      "shape        k        ours(s)   ours-1t(s)  seq(s) "
+                      "   counters");
+
+  auto run = [&](const char* name, std::vector<std::uint64_t> a) {
+    lis::LisResult par_res, seq_res;
+    auto [par, one] =
+        bench::time_par_and_seq([&] { par_res = lis::lis_parallel(a); });
+    double seq = bench::time_s([&] { seq_res = lis::lis_sequential(a); });
+    std::printf("%-12s %-8u %-9.4f %-11.4f %-9.4f", name, par_res.length, par,
+                one, seq);
+    bench::print_stats_suffix(par_res.stats);
+    std::printf("  %s\n", par_res.length == seq_res.length ? "" : "MISMATCH");
+  };
+
+  std::vector<std::uint64_t> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = parallel::hash64(3, i);
+  run("random", a);
+  for (std::size_t i = 0; i < n; ++i) a[i] = n - i;
+  run("decreasing", a);
+  // Sawtooth with period p: k == n/p segments... actually k == p
+  // (one rising run can be extended across teeth only by increasing
+  // values); keeps k mid-range.
+  for (std::size_t i = 0; i < n; ++i) a[i] = (i % 1024) * n + (i / 1024);
+  run("sawtooth", a);
+  // Fully increasing input is the zero-parallelism worst case (rounds ==
+  // n); run it at reduced size so the bench stays fast.
+  a.resize(n / 16);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i;
+  run("increasing", a);
+  return 0;
+}

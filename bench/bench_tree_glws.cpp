@@ -1,0 +1,72 @@
+// Ablation A7 (Thm 5.3): Tree-GLWS across tree shapes — rounds track the
+// best-decision chain depth, not the tree size.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/parallel/random.hpp"
+#include "src/structures/tree_utils.hpp"
+#include "src/treeglws/tree_glws.hpp"
+
+using namespace cordon;
+using structures::RootedTree;
+
+namespace {
+
+std::vector<std::uint32_t> random_parents(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> parent(n, structures::kNoNode);
+  for (std::uint32_t v = 1; v < n; ++v)
+    parent[v] = static_cast<std::uint32_t>(parallel::uniform(seed, v, v));
+  return parent;
+}
+
+std::vector<std::uint32_t> path_parents(std::size_t n) {
+  std::vector<std::uint32_t> parent(n, structures::kNoNode);
+  for (std::uint32_t v = 1; v < n; ++v) parent[v] = v - 1;
+  return parent;
+}
+
+std::vector<std::uint32_t> binary_parents(std::size_t n) {
+  std::vector<std::uint32_t> parent(n, structures::kNoNode);
+  for (std::uint32_t v = 1; v < n; ++v) parent[v] = (v - 1) / 2;
+  return parent;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::env_size("CORDON_BENCH_N", 1u << 17);
+  auto x = std::make_shared<std::vector<double>>(n + 1, 0.0);
+  for (std::size_t i = 1; i <= n; ++i)
+    (*x)[i] = (*x)[i - 1] + 0.5 + parallel::uniform_double(17, i);
+  glws::CostFn w = [x](std::size_t du, std::size_t dv) {
+    double s = (*x)[dv] - (*x)[du];
+    return 500.0 + 0.05 * s * s;
+  };
+  glws::EFn e = glws::identity_e();
+
+  bench::print_header("A7: Tree-GLWS across shapes",
+                      "shape     n        seq(s)    par(s)    par-1t(s)  "
+                      "rounds  counters");
+  auto run = [&](const char* name, std::vector<std::uint32_t> parents) {
+    RootedTree t(std::move(parents));
+    treeglws::TreeGlwsResult sv, pv;
+    double ts = bench::time_s(
+        [&] { sv = treeglws::tree_glws_sequential(t, 0.0, w, e); });
+    auto [tp, tp1] = bench::time_par_and_seq(
+        [&] { pv = treeglws::tree_glws_parallel(t, 0.0, w, e); });
+    bool ok = true;
+    for (std::size_t v = 0; v < t.size(); ++v)
+      if (std::abs(sv.d[v] - pv.d[v]) > 1e-6) ok = false;
+    std::printf("%-9s %-8zu %-9.4f %-9.4f %-10.4f %-7llu", name, t.size(), ts,
+                tp, tp1, static_cast<unsigned long long>(pv.stats.rounds));
+    bench::print_stats_suffix(pv.stats);
+    std::printf("  %s\n", ok ? "" : "MISMATCH");
+  };
+  run("random", random_parents(n, 3));
+  run("binary", binary_parents(n));
+  run("path", path_parents(n / 8));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared benchmark harness.
+//
+// Each figure/ablation bench is a standalone binary that prints the
+// series the paper's figure shows (plus machine-independent counters).
+// Sizes default to laptop/CI scale and are overridden with environment
+// variables so the same binaries reproduce paper-scale runs on a real
+// multicore machine:
+//   CORDON_BENCH_N      — problem size (default per bench)
+//   CORDON_NUM_THREADS  — worker threads (scheduler-wide)
+// The "ours (1 thread)" series uses parallel::SequentialRegion, exactly
+// one binary per figure as the paper's harness does.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/dp_stats.hpp"
+#include "src/parallel/scheduler.hpp"
+
+namespace cordon::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* s = std::getenv(name)) {
+    long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// Wall-clock seconds of fn().
+template <typename Fn>
+double time_s(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Runs fn twice: parallel (current pool) and forced single-thread.
+/// Returns {parallel_seconds, one_thread_seconds}.
+template <typename Fn>
+std::pair<double, double> time_par_and_seq(Fn&& fn) {
+  cordon::parallel::ensure_started();
+  double par = time_s(fn);
+  double one;
+  {
+    cordon::parallel::SequentialRegion seq;
+    one = time_s(fn);
+  }
+  return {par, one};
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("# threads=%zu (set CORDON_NUM_THREADS to change)\n",
+              cordon::parallel::num_workers());
+  std::printf("%s\n", columns);
+}
+
+inline void print_stats_suffix(const core::DpStats& s) {
+  std::printf("  states=%llu relax=%llu rounds=%llu",
+              static_cast<unsigned long long>(s.states),
+              static_cast<unsigned long long>(s.relaxations),
+              static_cast<unsigned long long>(s.rounds));
+}
+
+}  // namespace cordon::bench

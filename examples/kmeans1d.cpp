@@ -1,0 +1,51 @@
+// kmeans1d: optimal 1D k-means clustering via k-GLWS (Sec. 5.4).
+//
+// Unlike Lloyd's algorithm, the DP solution is *exactly* optimal: with
+// points sorted, clusters are contiguous ranges and the within-cluster
+// sum of squares is a convex Monge cost — the Ckmeans.1d.dp [91]
+// formulation.  One cordon round per cluster.
+//
+// Usage: kmeans1d [k] [n]             (default k=4, n=4000)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/glws/costs.hpp"
+#include "src/kglws/kglws.hpp"
+#include "src/parallel/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cordon;
+  std::size_t k = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4;
+  std::size_t n = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4000;
+
+  // Synthetic data: k true Gaussian-ish blobs, shuffled then sorted.
+  std::vector<double> x(n + 1, 0.0);  // 1-indexed
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t blob = parallel::uniform(1, i, k);
+    double center = static_cast<double>(blob) * 50.0;
+    double jitter = 0.0;
+    for (int t = 0; t < 6; ++t)  // sum of uniforms ~ bell-shaped
+      jitter += parallel::uniform_double(2 + t, i) - 0.5;
+    x[i] = center + jitter * 8.0;
+  }
+  std::sort(x.begin() + 1, x.end());
+
+  auto cost = glws::squared_distance_cost(x);
+  glws::CostFn w = [cost](std::size_t j, std::size_t i) { return cost(j, i); };
+
+  auto cuts = kglws::kglws_backtrack(n, k, w);
+  auto res = kglws::kglws_dc(n, k, w);
+  std::printf("n=%zu k=%zu  total within-cluster SS=%.2f  rounds=%llu\n\n", n,
+              k, res.total, static_cast<unsigned long long>(res.stats.rounds));
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    std::size_t lo = cuts[c] + 1, hi = cuts[c + 1];
+    double sum = 0;
+    for (std::size_t i = lo; i <= hi; ++i) sum += x[i];
+    std::printf("cluster %zu: %6zu points in [%8.2f, %8.2f]  mean %8.2f\n",
+                c + 1, hi - lo + 1, x[lo], x[hi],
+                sum / static_cast<double>(hi - lo + 1));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// line_breaking: Knuth–Plass paragraph layout as convex GLWS [66].
+//
+// D[i] = min_j D[j] + badness(words j+1..i on one line); the badness is
+// convex in the line length, so decision monotonicity applies and the
+// parallel GLWS lays out a paragraph in rounds equal to the number of
+// lines — the motivating 1D/1D example of Sec. 4.
+//
+// Usage: line_breaking [width]        (default width 52)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/glws/costs.hpp"
+#include "src/glws/glws.hpp"
+
+namespace {
+
+const char* kText =
+    "The idea of dynamic programming since proposed by Richard Bellman in "
+    "the fifties has been extensively used in algorithm design and is one "
+    "of the most important algorithmic techniques covered in classic "
+    "textbooks and basic algorithm classes and widely used in research "
+    "and industry with the goal of this library being nearly work "
+    "efficient parallel algorithms from classic highly optimized and "
+    "practical sequential algorithms";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cordon::glws;
+  double width = argc > 1 ? std::atof(argv[1]) : 52.0;
+
+  std::vector<std::string> words;
+  {
+    std::istringstream iss(kText);
+    std::string w;
+    while (iss >> w) words.push_back(w);
+  }
+  const std::size_t n = words.size();
+
+  // word_prefix[i] = total length of words 1..i, one space after each.
+  auto wp = std::make_shared<std::vector<double>>(n + 1, 0.0);
+  for (std::size_t i = 1; i <= n; ++i)
+    (*wp)[i] = (*wp)[i - 1] + static_cast<double>(words[i - 1].size()) + 1.0;
+
+  CostFn w = line_break_cost(wp, width);
+  auto res = glws_parallel(n, 0.0, w, identity_e(), Shape::kConvex);
+
+  // Backtrack the line breaks.
+  std::vector<std::size_t> breaks;  // line ends
+  for (std::size_t i = n; i != 0; i = res.best[i]) breaks.push_back(i);
+  std::printf("width=%.0f  badness=%.2f  lines=%zu  cordon rounds=%llu\n\n",
+              width, res.d[n], breaks.size(),
+              static_cast<unsigned long long>(res.stats.rounds));
+  std::size_t start = 0;
+  for (auto it = breaks.rbegin(); it != breaks.rend(); ++it) {
+    std::string line;
+    for (std::size_t k = start; k < *it; ++k) {
+      if (!line.empty()) line += ' ';
+      line += words[k];
+    }
+    std::printf("|%s\n", line.c_str());
+    start = *it;
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Explicit DP DAG: the reference model of Sec. 1-2.
+//
+// States are integers 0..n-1 in topological order; an edge j -> i (j < i)
+// carries a transition function value f_ij(D[j]).  This module provides
+//   * a naive topological evaluator (the textbook DP) — the correctness
+//     oracle every optimized/parallel algorithm is tested against, and
+//   * effective-depth computation d^(G) (Sec. 2.2): the longest chain of
+//     *effective* edges over any path, which lower-bounds the rounds of
+//     any faithful parallelization and is what the span theorems are
+//     parameterized by.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace cordon::core {
+
+enum class Objective { kMin, kMax };
+
+/// An explicit DP DAG over states 0..n-1 (indices are a topological order).
+/// Edge (src -> dst, f) means D[dst] can be relaxed with f(D[src]).
+class DpDag {
+ public:
+  using Transition = std::function<double(double)>;
+
+  struct Edge {
+    std::uint32_t src;
+    std::uint32_t dst;
+    Transition f;
+    bool effective = true;  // does the optimized sequential algorithm process it?
+  };
+
+  DpDag(std::size_t n, Objective obj) : n_(n), objective_(obj) {}
+
+  void add_edge(std::uint32_t src, std::uint32_t dst, Transition f,
+                bool effective = true) {
+    if (src >= dst) throw std::invalid_argument("DpDag: src must be < dst");
+    if (dst >= n_) throw std::invalid_argument("DpDag: state out of range");
+    edges_.push_back({src, dst, std::move(f), effective});
+  }
+
+  void set_boundary(std::uint32_t state, double value) {
+    boundary_.emplace_back(state, value);
+  }
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] Objective objective() const noexcept { return objective_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Naive topological evaluation of the recurrence: processes every edge.
+  /// The oracle for all optimized algorithms.
+  [[nodiscard]] std::vector<double> evaluate() const {
+    const double worst = objective_ == Objective::kMin
+                             ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+    std::vector<double> d(n_, worst);
+    for (auto& [s, v] : boundary_) d[s] = v;
+    // Edges sorted by dst would be ideal; a bucket pass keeps this O(V+E).
+    std::vector<std::vector<const Edge*>> in(n_);
+    for (const Edge& e : edges_) in[e.dst].push_back(&e);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      for (const Edge* e : in[i]) {
+        double cand = e->f(d[e->src]);
+        if (objective_ == Objective::kMin ? cand < d[i] : cand > d[i])
+          d[i] = cand;
+      }
+    }
+    return d;
+  }
+
+  /// Effective depth d^(G): max number of effective edges on any path
+  /// (Sec. 2.2).  Computed by DP over the topological order.
+  [[nodiscard]] std::uint64_t effective_depth() const {
+    std::vector<std::uint64_t> depth(n_, 0);
+    std::vector<std::vector<const Edge*>> in(n_);
+    for (const Edge& e : edges_) in[e.dst].push_back(&e);
+    std::uint64_t best = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      for (const Edge* e : in[i]) {
+        std::uint64_t cand = depth[e->src] + (e->effective ? 1 : 0);
+        if (cand > depth[i]) depth[i] = cand;
+      }
+      if (depth[i] > best) best = depth[i];
+    }
+    return best;
+  }
+
+ private:
+  std::size_t n_;
+  Objective objective_;
+  std::vector<Edge> edges_;
+  std::vector<std::pair<std::uint32_t, double>> boundary_;
+};
+
+}  // namespace cordon::core

@@ -1,0 +1,62 @@
+// Machine-independent work/span counters.
+//
+// Every algorithm in the library reports what it actually did: how many
+// states it touched, how many transitions (relaxations) it evaluated, and
+// how many phase-parallel rounds it ran.  These are the quantities the
+// paper's theorems bound (work ~ relaxations x log n, span ~ rounds x
+// polylog), so tests and benchmarks can check work-efficiency claims
+// directly instead of inferring them from wall-clock on a particular
+// machine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace cordon::core {
+
+/// Counters accumulated by one algorithm run.  `relaxations` counts cost
+/// function / DP-value evaluations (the unit of "work" in the paper's
+/// bounds); `states` counts state visits including wasted prefix-doubling
+/// probes; `rounds` counts phase-parallel rounds (the span driver).
+struct DpStats {
+  std::uint64_t states = 0;
+  std::uint64_t relaxations = 0;
+  std::uint64_t rounds = 0;
+
+  DpStats& operator+=(const DpStats& o) {
+    states += o.states;
+    relaxations += o.relaxations;
+    rounds += o.rounds;
+    return *this;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const DpStats& s) {
+  return os << "{states=" << s.states << ", relaxations=" << s.relaxations
+            << ", rounds=" << s.rounds << "}";
+}
+
+/// Thread-safe accumulator used inside parallel loops; convert to DpStats
+/// at the end of a run.
+struct AtomicDpStats {
+  std::atomic<std::uint64_t> states{0};
+  std::atomic<std::uint64_t> relaxations{0};
+  std::atomic<std::uint64_t> rounds{0};
+
+  void add_states(std::uint64_t n) noexcept {
+    states.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_relaxations(std::uint64_t n) noexcept {
+    relaxations.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_round() noexcept { rounds.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] DpStats snapshot() const noexcept {
+    return {states.load(std::memory_order_relaxed),
+            relaxations.load(std::memory_order_relaxed),
+            rounds.load(std::memory_order_relaxed)};
+  }
+};
+
+}  // namespace cordon::core

@@ -1,0 +1,79 @@
+// Validators for the structural preconditions of decision monotonicity
+// (Sec. 4.1): the convex/concave Monge condition on a cost function and
+// convex/concave total monotonicity of a matrix.
+//
+// Exhaustive checks are O(n^4) / O(n^2 m^2) and are used in tests for
+// small n; sampled checks draw random quadruples and are used as cheap
+// guards inside examples when a user supplies a custom cost function.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/parallel/random.hpp"
+
+namespace cordon::core {
+
+/// w(j, i) defined for 0 <= j < i <= n.
+using CostFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Convex Monge (quadrangle inequality, Eq. 5):
+/// w(a,c) + w(b,d) <= w(b,c) + w(a,d) for a < b < c < d.
+inline bool is_convex_monge_exhaustive(const CostFn& w, std::size_t n,
+                                       double eps = 1e-9) {
+  for (std::size_t a = 0; a + 3 <= n; ++a)
+    for (std::size_t b = a + 1; b + 2 <= n; ++b)
+      for (std::size_t c = b + 1; c + 1 <= n; ++c)
+        for (std::size_t d = c + 1; d <= n; ++d)
+          if (w(a, c) + w(b, d) > w(b, c) + w(a, d) + eps) return false;
+  return true;
+}
+
+/// Concave Monge (inverse quadrangle inequality, Eq. 6).
+inline bool is_concave_monge_exhaustive(const CostFn& w, std::size_t n,
+                                        double eps = 1e-9) {
+  for (std::size_t a = 0; a + 3 <= n; ++a)
+    for (std::size_t b = a + 1; b + 2 <= n; ++b)
+      for (std::size_t c = b + 1; c + 1 <= n; ++c)
+        for (std::size_t d = c + 1; d <= n; ++d)
+          if (w(a, c) + w(b, d) + eps < w(b, c) + w(a, d)) return false;
+  return true;
+}
+
+/// Sampled convex-Monge check: draws `samples` random quadruples
+/// a < b < c < d from [0, n].  Returns false on any violation.
+inline bool is_convex_monge_sampled(const CostFn& w, std::size_t n,
+                                    std::size_t samples,
+                                    std::uint64_t seed = 42,
+                                    double eps = 1e-9) {
+  if (n < 3) return true;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::size_t x[4];
+    for (int k = 0; k < 4; ++k)
+      x[k] = parallel::uniform(seed, 4 * s + static_cast<std::size_t>(k),
+                               n + 1);
+    std::sort(x, x + 4);
+    if (x[0] == x[1] || x[1] == x[2] || x[2] == x[3]) continue;
+    if (w(x[0], x[2]) + w(x[1], x[3]) > w(x[1], x[2]) + w(x[0], x[3]) + eps)
+      return false;
+  }
+  return true;
+}
+
+/// Convex total monotonicity of a matrix accessor A(row, col):
+/// A(a,c) >= A(a,d) implies A(b,c) >= A(b,d) for a < b, c < d.
+template <typename Matrix>
+bool is_convex_totally_monotone(const Matrix& a, std::size_t rows,
+                                std::size_t cols, double eps = 1e-9) {
+  for (std::size_t r1 = 0; r1 < rows; ++r1)
+    for (std::size_t r2 = r1 + 1; r2 < rows; ++r2)
+      for (std::size_t c1 = 0; c1 < cols; ++c1)
+        for (std::size_t c2 = c1 + 1; c2 < cols; ++c2)
+          if (a(r1, c1) >= a(r1, c2) - eps && a(r2, c1) < a(r2, c2) - eps)
+            return false;
+  return true;
+}
+
+}  // namespace cordon::core

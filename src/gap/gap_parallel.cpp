@@ -1,0 +1,274 @@
+// Parallel GAP via the Cordon Algorithm (Sec. 5.2, Thm 5.2).
+//
+// The finalized region is always down-closed under (i', j') <= (i, j)
+// componentwise, i.e. a staircase: front[i] = first unfinalized column of
+// row i is non-increasing in i.  Each round:
+//
+//   1. synchronized prefix-doubling: every row extends a probe window
+//      right of its front; a probed state computes its tentative value
+//      from the *finalized* row/column envelopes (and the diagonal if its
+//      source is finalized) and places sentinels:
+//        (a) row-wise  — first state it would relax in its row,
+//        (b) column-wise — first state it would relax in its column,
+//        (c) diagonal  — on itself, if A[i]==B[j] but (i-1,j-1) is
+//            tentative;
+//      sentinel (x, y) blocks everything >= (x, y), which a per-substep
+//      prefix-min over the rows' caps implements in O(n);
+//   2. rows finalize [front[i], cap[i]); the per-row and per-column
+//      best-decision lists are rebuilt with FindIntervals and spliced
+//      onto the old envelopes with the generalized Alg. 2 merge.
+//
+// Caps stay non-increasing across rows at every substep, which is what
+// makes the probe sound: a tentative state outside every window can only
+// relax states that are themselves outside every window.
+#include <atomic>
+#include <limits>
+
+#include "src/gap/gap.hpp"
+#include "src/glws/envelope_tools.hpp"
+#include "src/parallel/primitives.hpp"
+
+namespace cordon::gap {
+namespace {
+
+using glws::Shape;
+using structures::BestDecisionList;
+using structures::DecisionInterval;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = BestDecisionList::kNone;
+
+struct Grid {
+  std::size_t n, m;
+  std::vector<double> d;  // (n+1) x (m+1)
+
+  double& at(std::size_t i, std::size_t j) { return d[i * (m + 1) + j]; }
+  [[nodiscard]] double get(std::size_t i, std::size_t j) const {
+    return d[i * (m + 1) + j];
+  }
+};
+
+}  // namespace
+
+GapResult gap_parallel(const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b,
+                       const glws::CostFn& w1, const glws::CostFn& w2,
+                       glws::Shape shape) {
+  const std::size_t n = a.size(), m = b.size();
+  const bool convex = shape == Shape::kConvex;
+  GapResult res;
+  res.rows = n + 1;
+  res.cols = m + 1;
+
+  Grid g{n, m, std::vector<double>((n + 1) * (m + 1), kInf)};
+  g.at(0, 0) = 0.0;
+  core::AtomicDpStats stats;
+
+  // Row envelope of row i: decisions are finalized columns j' of row i,
+  // eval(j', j) = D[i][j'] + w2(j', j).  Column envelope symmetric.
+  auto row_eval = [&](std::size_t i) {
+    return [&, i](std::size_t jp, std::size_t j) {
+      stats.add_relaxations(1);
+      return g.get(i, jp) + w2(jp, j);
+    };
+  };
+  auto col_eval = [&](std::size_t j) {
+    return [&, j](std::size_t ip, std::size_t i) {
+      stats.add_relaxations(1);
+      return g.get(ip, j) + w1(ip, i);
+    };
+  };
+
+  std::vector<BestDecisionList> row_b(n + 1), col_b(m + 1);
+  std::vector<std::size_t> front(n + 1, 0), colfront(m + 1, 0);
+  front[0] = 1;  // (0,0) is the boundary state
+  colfront[0] = 1;
+  if (m >= 1) row_b[0].assign({{1, m, 0}});
+  if (n >= 1) col_b[0].assign({{1, n, 0}});
+
+  auto done = [&] {
+    for (std::size_t i = 0; i <= n; ++i)
+      if (front[i] <= m) return false;
+    return true;
+  };
+
+  while (!done()) {
+    stats.add_round();
+    std::vector<std::atomic<std::size_t>> cap(n + 1);
+    for (auto& c : cap) c.store(m + 1, std::memory_order_relaxed);
+    std::vector<std::size_t> checked(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+      checked[i] = front[i] == 0 ? 0 : front[i] - 1;
+    // checked[i] = last probed column (front[i]-1 means "none yet").
+    // Special case front[i]==0: use a sentinel meaning none probed.
+    std::vector<bool> none_checked(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) none_checked[i] = true;
+
+    auto lower_cap = [&](std::size_t row, std::size_t col) {
+      std::size_t cur = cap[row].load(std::memory_order_relaxed);
+      while (col < cur && !cap[row].compare_exchange_weak(
+                              cur, col, std::memory_order_relaxed)) {
+      }
+    };
+
+    for (std::size_t t = 1;; ++t) {
+      // Probe windows: row i extends to front[i] + 2^t - 2, clamped by
+      // its cap and the grid.
+      bool any = false;
+      std::vector<std::pair<std::size_t, std::size_t>> span(n + 1, {1, 0});
+      for (std::size_t i = 0; i <= n; ++i) {
+        std::size_t c = cap[i].load(std::memory_order_relaxed);
+        if (front[i] > m || c <= front[i]) continue;
+        std::size_t lo = none_checked[i] ? front[i] : checked[i] + 1;
+        std::size_t hi =
+            std::min({m, c - 1, front[i] + (std::size_t{1} << t) - 2});
+        if (lo > hi) continue;
+        span[i] = {lo, hi};
+        any = true;
+      }
+      if (!any) break;
+
+      parallel::parallel_for(0, n + 1, [&](std::size_t i) {
+        auto [lo, hi] = span[i];
+        if (lo > hi) return;
+        auto reval = row_eval(i);
+        for (std::size_t j = lo; j <= hi; ++j) {
+          stats.add_states(1);
+          auto ceval = col_eval(j);
+          double v = kInf;
+          std::size_t rb = row_b[i].best_of(j);
+          if (rb != kNone) v = std::min(v, reval(rb, j));
+          std::size_t cb = col_b[j].best_of(i);
+          if (cb != kNone) v = std::min(v, ceval(cb, i));
+          if (i >= 1 && j >= 1 && a[i - 1] == b[j - 1]) {
+            if (j - 1 < front[i - 1]) {
+              v = std::min(v, g.get(i - 1, j - 1));
+            } else {
+              lower_cap(i, j);  // diagonal source tentative: sentinel here
+            }
+          }
+          g.at(i, j) = v;
+          if (v == kInf) continue;  // cannot relax anyone yet
+
+          // Row-wise sentinel.
+          if (!row_b[i].empty()) {
+            std::size_t s;
+            if (convex) {
+              s = row_b[i].first_win(j, reval, j + 1);
+            } else {
+              s = kNone;
+              if (j + 1 <= m && j + 1 >= row_b[i].cover_lo()) {
+                std::size_t bn = row_b[i].best_of(j + 1);
+                if (bn != kNone && reval(j, j + 1) < reval(bn, j + 1))
+                  s = j + 1;
+              }
+            }
+            if (s != kNone) lower_cap(i, s);
+          } else if (j + 1 <= m) {
+            lower_cap(i, j + 1);  // no envelope yet: block conservatively
+          }
+          // Column-wise sentinel.
+          if (!col_b[j].empty()) {
+            std::size_t s;
+            if (convex) {
+              s = col_b[j].first_win(i, ceval, i + 1);
+            } else {
+              s = kNone;
+              if (i + 1 <= n && i + 1 >= col_b[j].cover_lo()) {
+                std::size_t bn = col_b[j].best_of(i + 1);
+                if (bn != kNone && ceval(i, i + 1) < ceval(bn, i + 1))
+                  s = i + 1;
+              }
+            }
+            if (s != kNone) lower_cap(s, j);
+          } else if (i + 1 <= n) {
+            lower_cap(i + 1, j);
+          }
+        }
+      });
+
+      // Staircase clamp: sentinel (x, y) blocks every row below at
+      // column y and beyond.
+      for (std::size_t i = 1; i <= n; ++i) {
+        std::size_t above = cap[i - 1].load(std::memory_order_relaxed);
+        std::size_t cur = cap[i].load(std::memory_order_relaxed);
+        if (above < cur) cap[i].store(above, std::memory_order_relaxed);
+      }
+      for (std::size_t i = 0; i <= n; ++i) {
+        auto [lo, hi] = span[i];
+        if (lo > hi) continue;
+        checked[i] = hi;
+        none_checked[i] = false;
+      }
+    }
+
+    // Finalize [front[i], cap[i]) per row and rebuild envelopes.
+    std::vector<std::size_t> new_front(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      std::size_t c = cap[i].load(std::memory_order_relaxed);
+      new_front[i] = std::max(front[i], std::min(c, m + 1));
+    }
+
+    // Row envelopes.
+    parallel::parallel_for(0, n + 1, [&](std::size_t i) {
+      std::size_t f0 = front[i], f1 = new_front[i];
+      if (f1 == f0 || f1 > m) {
+        if (f1 > m) row_b[i].assign({});
+        return;
+      }
+      auto reval = row_eval(i);
+      std::size_t dlo = f0 == 0 ? 0 : f0;
+      std::vector<DecisionInterval> fresh = glws::coalesce(
+          glws::find_intervals(reval, dlo, f1 - 1, f1, m, convex));
+      if (row_b[i].empty()) {
+        row_b[i].assign(std::move(fresh));
+      } else {
+        row_b[i].advance_to(f1);
+        BestDecisionList bnew{std::move(fresh)};
+        row_b[i].assign(glws::coalesce(
+            glws::merge_envelopes(row_b[i], bnew, reval, f1, m, convex)));
+      }
+    });
+
+    // Column envelopes: column j gained rows [colfront[j], c1) where c1 =
+    // first row with new_front <= j (new_front is non-increasing).
+    parallel::parallel_for(0, m + 1, [&](std::size_t j) {
+      // Binary search: rows 0..c1-1 have new_front > j.
+      std::size_t lo = 0, hi = n + 1;
+      while (lo < hi) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (new_front[mid] > j)
+          lo = mid + 1;
+        else
+          hi = mid;
+      }
+      std::size_t c1 = lo, c0 = colfront[j];
+      if (c1 == c0) return;
+      colfront[j] = c1;
+      if (c1 > n) {
+        col_b[j].assign({});
+        return;
+      }
+      auto ceval = col_eval(j);
+      std::vector<DecisionInterval> fresh = glws::coalesce(
+          glws::find_intervals(ceval, c0, c1 - 1, c1, n, convex));
+      if (col_b[j].empty()) {
+        col_b[j].assign(std::move(fresh));
+      } else {
+        col_b[j].advance_to(c1);
+        BestDecisionList bnew{std::move(fresh)};
+        col_b[j].assign(glws::coalesce(
+            glws::merge_envelopes(col_b[j], bnew, ceval, c1, n, convex)));
+      }
+    });
+
+    front = std::move(new_front);
+  }
+
+  res.d = std::move(g.d);
+  res.distance = res.at(n, m);
+  res.stats = stats.snapshot();
+  return res;
+}
+
+}  // namespace cordon::gap

@@ -1,0 +1,91 @@
+// Standard cost functions for GLWS-family problems.
+//
+// All satisfy the convex or concave Monge condition (Sec. 4.1); tests
+// verify this with core/monge.hpp validators.  Each returns a CostFn
+// closing over shared immutable data (positions / prefix sums), so
+// copies are cheap and thread-safe.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/glws/glws.hpp"
+
+namespace cordon::glws {
+
+/// Post-office cost (the paper's running example, Sec. 4 / Fig. 7
+/// workload): serving villages j+1..i with one office costs a fixed
+/// `open_cost` plus the squared span of the served range.  Convex Monge:
+/// w(j, i) = open_cost + (x[i] - x[j+1])^2 over sorted positions x[1..n].
+/// Larger open_cost => fewer offices in the optimum (the paper's knob
+/// for the output size k).
+[[nodiscard]] inline CostFn post_office_cost(
+    std::shared_ptr<const std::vector<double>> x, double open_cost) {
+  return [x = std::move(x), open_cost](std::size_t j, std::size_t i) {
+    double span = (*x)[i] - (*x)[j + 1];
+    return open_cost + span * span;
+  };
+}
+
+/// Linear-span post-office variant (also convex Monge, weaker curvature).
+[[nodiscard]] inline CostFn post_office_linear_cost(
+    std::shared_ptr<const std::vector<double>> x, double open_cost) {
+  return [x = std::move(x), open_cost](std::size_t j, std::size_t i) {
+    return open_cost + ((*x)[i] - (*x)[j + 1]);
+  };
+}
+
+/// Concave example: square-root of the span (economies of scale).
+/// Satisfies the inverse quadrangle inequality.
+[[nodiscard]] inline CostFn sqrt_span_cost(
+    std::shared_ptr<const std::vector<double>> x, double open_cost) {
+  return [x = std::move(x), open_cost](std::size_t j, std::size_t i) {
+    return open_cost + std::sqrt((*x)[i] - (*x)[j + 1]);
+  };
+}
+
+/// Knuth–Plass line-breaking badness: words j+1..i on one line of width
+/// `line_width`; cost is cube of the slack (overfull lines get a large
+/// convex penalty).  `word_prefix[i]` = total length of words 1..i plus
+/// one space per word.  Convex Monge.
+[[nodiscard]] inline CostFn line_break_cost(
+    std::shared_ptr<const std::vector<double>> word_prefix,
+    double line_width) {
+  return [wp = std::move(word_prefix), line_width](std::size_t j,
+                                                   std::size_t i) {
+    double len = (*wp)[i] - (*wp)[j] - 1.0;  // drop the trailing space
+    double slack = line_width - len;
+    if (slack < 0) return 1e12 + slack * slack;  // overfull: huge penalty
+    return slack * slack * slack / (line_width * line_width);
+  };
+}
+
+/// Convex clustering cost via prefix sums: sum of squared distances of
+/// points j+1..i to their mean (the 1D k-means / ckmeans objective).
+/// Uses sum and sum-of-squares prefixes for O(1) evaluation.
+struct SquaredDistanceCost {
+  std::shared_ptr<const std::vector<double>> prefix_sum;    // of x
+  std::shared_ptr<const std::vector<double>> prefix_sq;     // of x^2
+
+  double operator()(std::size_t j, std::size_t i) const {
+    double cnt = static_cast<double>(i - j);
+    double s = (*prefix_sum)[i] - (*prefix_sum)[j];
+    double sq = (*prefix_sq)[i] - (*prefix_sq)[j];
+    return sq - s * s / cnt;
+  }
+};
+
+/// Builds SquaredDistanceCost from sorted values x[1..n] (x[0] ignored).
+[[nodiscard]] inline SquaredDistanceCost squared_distance_cost(
+    const std::vector<double>& x) {
+  auto ps = std::make_shared<std::vector<double>>(x.size(), 0.0);
+  auto pq = std::make_shared<std::vector<double>>(x.size(), 0.0);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    (*ps)[i] = (*ps)[i - 1] + x[i];
+    (*pq)[i] = (*pq)[i - 1] + x[i] * x[i];
+  }
+  return {std::move(ps), std::move(pq)};
+}
+
+}  // namespace cordon::glws

@@ -1,0 +1,161 @@
+// Shared envelope machinery for DM algorithms: FindIntervals (Alg. 1
+// lines 23-32), triple coalescing, and the old/new envelope merge
+// (Alg. 2, generalized to both shapes as the paper notes).
+//
+// Everything is templated on Eval: eval(j, i) -> double is the transition
+// value E[j] + w(j, i).  GLWS instantiates it over its 1D E array; GAP
+// instantiates one Eval per row and per column of the grid.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/parallel/scheduler.hpp"
+#include "src/structures/best_decision_list.hpp"
+
+namespace cordon::glws {
+
+using structures::BestDecisionList;
+using structures::DecisionInterval;
+
+namespace detail {
+
+// Parallel argmin of eval(j, im) over j in [jl, jr].  Convex callers want
+// the leftmost minimum, concave the rightmost (keeps the recursive
+// decision ranges consistent with DM under ties).
+template <typename Eval>
+std::size_t argmin_decision(const Eval& eval, std::size_t jl, std::size_t jr,
+                            std::size_t im, bool prefer_larger_j) {
+  struct Cand {
+    double v;
+    std::size_t j;
+  };
+  auto pick = [&](const Cand& a, const Cand& b) {
+    if (a.v < b.v) return a;
+    if (b.v < a.v) return b;
+    return prefer_larger_j ? (a.j > b.j ? a : b) : (a.j < b.j ? a : b);
+  };
+  constexpr std::size_t kSeq = 1024;
+  if (jr - jl <= kSeq) {
+    Cand best{eval(jl, im), jl};
+    for (std::size_t j = jl + 1; j <= jr; ++j)
+      best = pick(best, {eval(j, im), j});
+    return best.j;
+  }
+  std::size_t mid = jl + (jr - jl) / 2;
+  std::size_t a = 0, b = 0;
+  parallel::par_do(
+      [&] { a = argmin_decision(eval, jl, mid, im, prefer_larger_j); },
+      [&] { b = argmin_decision(eval, mid + 1, jr, im, prefer_larger_j); });
+  return pick({eval(a, im), a}, {eval(b, im), b}).j;
+}
+
+}  // namespace detail
+
+/// FindIntervals: best-decision triples for states [il, ir] with decisions
+/// restricted to [jl, jr].  O(M log N) work, O(log^2) span.
+template <typename Eval>
+std::vector<DecisionInterval> find_intervals(const Eval& eval, std::size_t jl,
+                                             std::size_t jr, std::size_t il,
+                                             std::size_t ir, bool convex) {
+  if (il > ir) return {};
+  if (jl == jr) return {{il, ir, jl}};
+  std::size_t im = il + (ir - il) / 2;
+  std::size_t jm =
+      detail::argmin_decision(eval, jl, jr, im, /*prefer_larger_j=*/!convex);
+
+  std::vector<DecisionInterval> left, right;
+  if (convex) {
+    parallel::par_do(
+        [&] { left = find_intervals(eval, jl, jm, il, im - 1, convex); },
+        [&] { right = find_intervals(eval, jm, jr, im + 1, ir, convex); });
+  } else {
+    parallel::par_do(
+        [&] { left = find_intervals(eval, jm, jr, il, im - 1, convex); },
+        [&] { right = find_intervals(eval, jl, jm, im + 1, ir, convex); });
+  }
+  std::vector<DecisionInterval> out;
+  out.reserve(left.size() + right.size() + 1);
+  out.insert(out.end(), left.begin(), left.end());
+  out.push_back({im, im, jm});
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+/// Merges adjacent triples with the same decision (Alg. 1 line 22).
+inline std::vector<DecisionInterval> coalesce(std::vector<DecisionInterval> v) {
+  std::vector<DecisionInterval> out;
+  out.reserve(v.size());
+  for (const auto& t : v) {
+    if (!out.empty() && out.back().j == t.j && out.back().r + 1 == t.l)
+      out.back().r = t.r;
+    else
+      out.push_back(t);
+  }
+  return out;
+}
+
+/// Alg. 2 (generalized): splice the envelope of *newer* decisions (bnew)
+/// with the envelope of older ones (bold).  Both lists must cover
+/// [lo, hi].  Concave costs: new decisions win a prefix [lo, p]; convex:
+/// a suffix [p, hi].  Binary search of the cutting point.
+template <typename Eval>
+std::vector<DecisionInterval> merge_envelopes(const BestDecisionList& bold,
+                                              const BestDecisionList& bnew,
+                                              const Eval& eval, std::size_t lo,
+                                              std::size_t hi, bool convex) {
+  auto new_wins = [&](std::size_t i) {
+    return eval(bnew.best_of(i), i) < eval(bold.best_of(i), i);
+  };
+  // Locate the boundary of the new-wins region.
+  std::vector<DecisionInterval> merged;
+  auto splice = [&](std::size_t new_lo, std::size_t new_hi, bool new_first) {
+    // new decisions serve [new_lo, new_hi]; old ones serve the rest.
+    auto append_clipped = [&](const std::vector<DecisionInterval>& src,
+                              std::size_t a, std::size_t b) {
+      if (a > b) return;
+      for (const auto& t : src) {
+        if (t.r < a || t.l > b) continue;
+        merged.push_back({std::max(t.l, a), std::min(t.r, b), t.j});
+      }
+    };
+    if (new_first) {
+      append_clipped(bnew.triples(), new_lo, new_hi);
+      if (new_hi < hi) append_clipped(bold.triples(), new_hi + 1, hi);
+    } else {
+      if (new_lo > lo) append_clipped(bold.triples(), lo, new_lo - 1);
+      append_clipped(bnew.triples(), new_lo, new_hi);
+    }
+  };
+
+  if (!convex) {
+    // Concave: new wins on a prefix.
+    if (!new_wins(lo)) return bold.triples();
+    if (new_wins(hi)) return bnew.triples();
+    std::size_t a = lo, b = hi;  // wins at a, loses at b
+    while (a + 1 < b) {
+      std::size_t mid = a + (b - a) / 2;
+      if (new_wins(mid))
+        a = mid;
+      else
+        b = mid;
+    }
+    splice(lo, a, /*new_first=*/true);
+  } else {
+    // Convex: new wins on a suffix.
+    if (!new_wins(hi)) return bold.triples();
+    if (new_wins(lo)) return bnew.triples();
+    std::size_t a = lo, b = hi;  // loses at a, wins at b
+    while (a + 1 < b) {
+      std::size_t mid = a + (b - a) / 2;
+      if (new_wins(mid))
+        b = mid;
+      else
+        a = mid;
+    }
+    splice(b, hi, /*new_first=*/false);
+  }
+  return merged;
+}
+
+}  // namespace cordon::glws

@@ -1,0 +1,62 @@
+// Generalized Least Weight Subsequence (Sec. 4):
+//   D[i] = min_{0 <= j < i} { E[j] + w(j, i) },  E[j] = f(D[j], j).
+//
+// Algorithms:
+//   * glws_naive      — O(n^2) evaluation of the recurrence (oracle),
+//   * glws_sequential — Γlws: the classic O(n log n) monotonic-queue
+//     algorithm [44] for convex or concave costs (the algorithm that the
+//     parallel version faithfully parallelizes),
+//   * glws_parallel   — the Cordon Algorithm, Alg. 1 (+ Alg. 2 for the
+//     concave merge): O(n log n) work, O(k log^2 n) span, where k is the
+//     number of phase-parallel rounds (= effective depth; for convex
+//     costs the *perfect* depth, e.g. the number of post offices in the
+//     optimal solution).  Thm 4.1 / 4.2.
+//
+// Cost functions are type-erased (std::function): GLWS evaluates only
+// O(n log n) transitions, so call-through overhead is a small constant
+// factor and type-erasure keeps the public API simple.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+
+namespace cordon::glws {
+
+enum class Shape { kConvex, kConcave };
+
+/// w(j, i): cost of a transition j -> i, defined for 0 <= j < i <= n.
+using CostFn = std::function<double(std::size_t, std::size_t)>;
+
+/// E[j] = f(D[j], j); must be O(1).
+using EFn = std::function<double(double, std::size_t)>;
+
+/// The identity E used by the original (non-generalized) LWS.
+[[nodiscard]] inline EFn identity_e() {
+  return [](double d, std::size_t) { return d; };
+}
+
+struct GlwsResult {
+  std::vector<double> d;             // D[0..n] (d[0] is the boundary)
+  std::vector<std::uint32_t> best;   // best[i], i in 1..n (best[0] unused)
+  core::DpStats stats;
+};
+
+/// O(n^2) reference (oracle).
+[[nodiscard]] GlwsResult glws_naive(std::size_t n, double d0, const CostFn& w,
+                                    const EFn& e);
+
+/// Γlws — sequential O(n log n) monotonic-queue algorithm.
+[[nodiscard]] GlwsResult glws_sequential(std::size_t n, double d0,
+                                         const CostFn& w, const EFn& e,
+                                         Shape shape);
+
+/// Parallel Cordon Algorithm (Alg. 1; Alg. 2 merge in the concave case).
+/// stats.rounds is the number of cordon rounds (= k in Thm 4.1/4.2).
+[[nodiscard]] GlwsResult glws_parallel(std::size_t n, double d0,
+                                       const CostFn& w, const EFn& e,
+                                       Shape shape);
+
+}  // namespace cordon::glws

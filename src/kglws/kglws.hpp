@@ -1,0 +1,51 @@
+// k-GLWS (Sec. 5.4): cluster the first n elements into exactly k clusters,
+//   D[i][k'] = min_{j<i} D[j][k'-1] + w(j, i),  D[0][0] = 0.
+//
+// With a convex w each layer k' is a *static* totally-monotone row-minima
+// problem.  We provide
+//   * kglws_naive    — O(k n^2) (oracle),
+//   * kglws_smawk    — SMAWK per layer: O(k n) evaluations, the best
+//     sequential algorithm (inherently sequential),
+//   * kglws_dc       — the practical divide-and-conquer per layer [6]
+//     (the paper's choice): O(k n log n) work, O(k log^2 n) span when the
+//     recursion and the column-min reductions run in parallel.  Under the
+//     Cordon view, layer k' is exactly the k'-th frontier, so
+//     stats.rounds == k: a perfect parallelization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+#include "src/glws/glws.hpp"  // CostFn
+
+namespace cordon::kglws {
+
+struct KglwsResult {
+  std::vector<double> d;              // D[i] = D[i][k] final layer, i in 0..n
+  std::vector<std::uint32_t> cut;     // cut[i]: best j for D[i][k] (backtrack
+                                      // via layer-by-layer recompute if needed)
+  double total = 0;                   // D[n][k]
+  core::DpStats stats;
+};
+
+/// O(k n^2) reference.
+[[nodiscard]] KglwsResult kglws_naive(std::size_t n, std::size_t k,
+                                      const glws::CostFn& w);
+
+/// SMAWK per layer (sequential optimum).
+[[nodiscard]] KglwsResult kglws_smawk(std::size_t n, std::size_t k,
+                                      const glws::CostFn& w);
+
+/// Parallel divide-and-conquer per layer (the Cordon frontier-per-layer
+/// algorithm).  stats.rounds == k.
+[[nodiscard]] KglwsResult kglws_dc(std::size_t n, std::size_t k,
+                                   const glws::CostFn& w);
+
+/// Optimal cluster boundaries (k+1 indices, 0 and n inclusive) recovered
+/// from a full run of the D&C algorithm.
+[[nodiscard]] std::vector<std::uint32_t> kglws_backtrack(std::size_t n,
+                                                         std::size_t k,
+                                                         const glws::CostFn& w);
+
+}  // namespace cordon::kglws

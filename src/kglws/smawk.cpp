@@ -1,0 +1,64 @@
+#include "src/kglws/smawk.hpp"
+
+namespace cordon::kglws {
+namespace {
+
+// Recursive SMAWK on explicit row/column index lists.
+void smawk_rec(const std::vector<std::size_t>& rows,
+               const std::vector<std::size_t>& cols, const MatrixFn& value,
+               std::vector<std::size_t>& out) {
+  if (rows.empty()) return;
+
+  // REDUCE: prune columns that cannot hold any row minimum, keeping at
+  // most |rows| columns.  Invariant of the stack: col stack[k] is the
+  // best candidate so far for row k among scanned columns.
+  std::vector<std::size_t> stack;
+  stack.reserve(rows.size());
+  for (std::size_t c : cols) {
+    while (!stack.empty()) {
+      std::size_t r = rows[stack.size() - 1];
+      if (value(r, stack.back()) <= value(r, c)) break;  // stack col wins
+      stack.pop_back();
+    }
+    if (stack.size() < rows.size()) stack.push_back(c);
+  }
+
+  // INTERPOLATE: solve odd rows recursively, then fill even rows by
+  // scanning between the neighbouring odd answers.
+  std::vector<std::size_t> odd_rows;
+  for (std::size_t k = 1; k < rows.size(); k += 2) odd_rows.push_back(rows[k]);
+  smawk_rec(odd_rows, stack, value, out);
+
+  std::size_t col_pos = 0;
+  for (std::size_t k = 0; k < rows.size(); k += 2) {
+    std::size_t r = rows[k];
+    std::size_t hi = k + 1 < rows.size()
+                         ? out[rows[k + 1]]  // next odd row's answer
+                         : stack.back();
+    std::size_t best = stack[col_pos];
+    double best_v = value(r, best);
+    while (stack[col_pos] != hi) {
+      ++col_pos;
+      double v = value(r, stack[col_pos]);
+      if (v < best_v) {
+        best = stack[col_pos];
+        best_v = v;
+      }
+    }
+    out[r] = best;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> smawk_row_minima(std::size_t rows, std::size_t cols,
+                                          const MatrixFn& value) {
+  std::vector<std::size_t> out(rows, 0);
+  std::vector<std::size_t> row_idx(rows), col_idx(cols);
+  for (std::size_t i = 0; i < rows; ++i) row_idx[i] = i;
+  for (std::size_t c = 0; c < cols; ++c) col_idx[c] = c;
+  smawk_rec(row_idx, col_idx, value, out);
+  return out;
+}
+
+}  // namespace cordon::kglws

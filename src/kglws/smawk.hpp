@@ -1,0 +1,27 @@
+// SMAWK algorithm [2]: row minima of an implicit totally monotone matrix
+// in O(rows + cols) evaluations.
+//
+// The paper (Sec. 5.4) notes SMAWK is the theoretically optimal — but
+// complicated and inherently sequential — way to compute one k-GLWS
+// layer; we implement it both as the strongest sequential baseline and
+// so benchmarks can quantify the D&C alternative's O(log n) overhead.
+//
+// Convention: value(r, c) returns row r / column c of an n x m matrix
+// that is *convex totally monotone* (row-minima column indices are
+// non-decreasing).  Ties pick the leftmost column.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cordon::kglws {
+
+using MatrixFn = std::function<double(std::size_t, std::size_t)>;
+
+/// argmin column for every row.  O(n + m) evaluations.
+[[nodiscard]] std::vector<std::size_t> smawk_row_minima(std::size_t rows,
+                                                        std::size_t cols,
+                                                        const MatrixFn& value);
+
+}  // namespace cordon::kglws

@@ -1,0 +1,124 @@
+#include "src/lcs/lcs.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/parallel/primitives.hpp"
+#include "src/parallel/sort.hpp"
+#include "src/structures/tournament_tree.hpp"
+
+namespace cordon::lcs {
+
+std::vector<MatchPair> match_pairs(const std::vector<std::uint32_t>& a,
+                                   const std::vector<std::uint32_t>& b) {
+  // Bucket positions of each symbol in b, then emit per position of a.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> where;
+  where.reserve(b.size());
+  for (std::uint32_t j = 0; j < b.size(); ++j) where[b[j]].push_back(j);
+
+  std::vector<MatchPair> pairs;
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    auto it = where.find(a[i]);
+    if (it == where.end()) continue;
+    // j descending within equal i: later j first.
+    for (std::size_t k = it->second.size(); k > 0; --k)
+      pairs.push_back({i, it->second[k - 1]});
+  }
+  return pairs;  // already (i asc, j desc) by construction
+}
+
+LcsResult lcs_naive(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  LcsResult res;
+  std::vector<std::uint32_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      ++res.stats.relaxations;
+      cur[j] = a[i - 1] == b[j - 1]
+                   ? prev[j - 1] + 1
+                   : std::max(prev[j], cur[j - 1]);
+    }
+    res.stats.states += m;
+    std::swap(prev, cur);
+  }
+  res.length = prev[m];
+  return res;
+}
+
+LcsResult lcs_sparse_seq(const std::vector<MatchPair>& pairs) {
+  // Hunt–Szymanski: process pairs in (i asc, j desc) order; thresholds[k]
+  // is the smallest j ending a chain of length k+1.  Because j is
+  // descending within one i, a pair never chains onto another pair with
+  // the same i.
+  LcsResult res;
+  res.pair_dp.assign(pairs.size(), 0);
+  std::vector<std::uint32_t> thresholds;  // strictly increasing j values
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    std::uint32_t j = pairs[p].j;
+    auto it = std::lower_bound(thresholds.begin(), thresholds.end(), j);
+    std::uint32_t len = static_cast<std::uint32_t>(it - thresholds.begin());
+    if (it == thresholds.end())
+      thresholds.push_back(j);
+    else
+      *it = j;
+    res.pair_dp[p] = len + 1;
+    ++res.stats.states;
+    ++res.stats.relaxations;
+  }
+  res.length = static_cast<std::uint32_t>(thresholds.size());
+  return res;
+}
+
+LcsResult lcs_parallel(const std::vector<MatchPair>& pairs) {
+  LcsResult res;
+  res.pair_dp.assign(pairs.size(), 0);
+  if (pairs.empty()) return res;
+
+  // Keys are the j coordinates in (i asc, j desc) order: the pairs on the
+  // cordon are exactly the prefix minima (Sec. 3, Fig. 2(f)), i.e., the
+  // LCS over the secondary keys is an LIS instance.
+  std::vector<std::uint64_t> keys(pairs.size());
+  parallel::parallel_for(0, pairs.size(),
+                         [&](std::size_t p) { keys[p] = pairs[p].j; });
+  structures::TournamentTree tree(keys);
+  core::AtomicDpStats stats;
+  std::uint32_t round = 0;
+  while (!tree.empty()) {
+    ++round;
+    std::vector<std::size_t> frontier = tree.extract_prefix_minima();
+    stats.add_round();
+    stats.add_states(frontier.size());
+    stats.add_relaxations(frontier.size());
+    parallel::parallel_for(0, frontier.size(), [&](std::size_t k) {
+      res.pair_dp[frontier[k]] = round;
+    });
+  }
+  res.length = round;
+  res.stats = stats.snapshot();
+  return res;
+}
+
+std::vector<MatchPair> recover_chain(const std::vector<MatchPair>& pairs,
+                                     const LcsResult& res) {
+  // Backward greedy: a pair with DP value v chains onto any pair with
+  // value v-1 strictly above-left of it; scanning the (i asc, j desc)
+  // order backwards and keeping strictly-dominated coordinates always
+  // finds one (the DP values certify existence).
+  std::vector<MatchPair> chain;
+  std::uint32_t want = res.length;
+  std::uint32_t limit_i = 0xffffffffu, limit_j = 0xffffffffu;
+  for (std::size_t p = pairs.size(); p > 0 && want > 0; --p) {
+    const MatchPair& pr = pairs[p - 1];
+    if (res.pair_dp[p - 1] == want && pr.i < limit_i && pr.j < limit_j) {
+      chain.push_back(pr);
+      limit_i = pr.i;
+      limit_j = pr.j;
+      --want;
+    }
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace cordon::lcs

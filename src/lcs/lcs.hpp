@@ -1,0 +1,61 @@
+// Sparse Longest Common Subsequence (Sec. 3, Thm 3.2).
+//
+// The sparsification [7, 40, 51, 56]: only states (i, j) with
+// A[i] == B[j] matter (L such "match pairs"), and LCS is the longest
+// chain of pairs increasing in both coordinates.
+//
+//   * lcs_naive      — O(nm) grid DP (oracle),
+//   * lcs_sparse_seq — Hunt–Szymanski-style O(L log n) over match pairs,
+//   * lcs_parallel   — the Cordon Algorithm (Thm 3.2): sort pairs by
+//     (i asc, j desc); each round a tournament tree extracts the pairs on
+//     the cordon (prefix minima of the j keys), which are exactly the
+//     states with LCS value = round number.  O(L log n) work,
+//     O(k log n) span where k is the LCS length.
+//
+// The pre-processing that finds match pairs is provided (and excluded
+// from benchmark timings, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+
+namespace cordon::lcs {
+
+struct MatchPair {
+  std::uint32_t i;  // position in A
+  std::uint32_t j;  // position in B
+};
+
+/// All (i, j) with a[i] == b[j], sorted by (i asc, j desc) — the order
+/// the cordon algorithm consumes.  |result| = L.
+[[nodiscard]] std::vector<MatchPair> match_pairs(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+
+struct LcsResult {
+  std::uint32_t length = 0;
+  core::DpStats stats;
+  /// For the sparse algorithms: dp[p] = LCS of prefixes (a[0..i_p],
+  /// b[0..j_p]) that *ends at* pair p, aligned with the match_pairs order.
+  std::vector<std::uint32_t> pair_dp;
+};
+
+/// O(nm) grid DP over recurrence (3) (oracle).
+[[nodiscard]] LcsResult lcs_naive(const std::vector<std::uint32_t>& a,
+                                  const std::vector<std::uint32_t>& b);
+
+/// Sparse sequential O(L log n) over pre-computed pairs.
+[[nodiscard]] LcsResult lcs_sparse_seq(const std::vector<MatchPair>& pairs);
+
+/// Cordon Algorithm over pre-computed pairs (Thm 3.2).
+/// stats.rounds == LCS length.
+[[nodiscard]] LcsResult lcs_parallel(const std::vector<MatchPair>& pairs);
+
+/// One optimal chain of match pairs (an LCS witness), recovered from the
+/// per-pair DP values of either sparse algorithm.  Returned in chain
+/// order (increasing i and j); length == res.length.  O(L) scan.
+[[nodiscard]] std::vector<MatchPair> recover_chain(
+    const std::vector<MatchPair>& pairs, const LcsResult& res);
+
+}  // namespace cordon::lcs

@@ -1,0 +1,132 @@
+// Internal working list for the Garsia–Wachs family (phase 1).
+//
+// Doubly linked list over an arena of nodes (n leaves + up to n-1
+// internal combine nodes + 2 infinite sentinels).  Provides the two
+// primitive steps of phase 1:
+//   combine(x, y)       — replace adjacent (x, y) by a parent node,
+//   reinsert(z, from)   — insert z before the first node at/after `from`
+//                         whose weight >= w(z) (GW's reinsertion rule),
+// plus leaf-level extraction from the recorded combine forest.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cordon::oat::detail {
+
+class GwList {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  explicit GwList(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    // Arena layout: [0, n) leaves, then internal nodes, then the two
+    // sentinels at the end (allocated first for fixed ids).
+    w_.reserve(2 * n + 2);
+    prev_.reserve(2 * n + 2);
+    next_.reserve(2 * n + 2);
+    child_.reserve(2 * n + 2);
+    for (std::size_t i = 0; i < n; ++i) push_node(weights[i]);
+    head_ = push_node(std::numeric_limits<double>::infinity());
+    tail_ = push_node(std::numeric_limits<double>::infinity());
+    // Link: head -> 0 -> 1 -> ... -> n-1 -> tail.
+    next_[head_] = n > 0 ? 0 : tail_;
+    prev_[tail_] = n > 0 ? static_cast<std::uint32_t>(n - 1) : head_;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      prev_[i] = i == 0 ? head_ : i - 1;
+      next_[i] = i + 1 == n ? tail_ : i + 1;
+    }
+    size_ = n;
+  }
+
+  [[nodiscard]] std::uint32_t head() const noexcept { return head_; }
+  [[nodiscard]] std::uint32_t tail() const noexcept { return tail_; }
+  [[nodiscard]] std::uint32_t first() const noexcept { return next_[head_]; }
+  [[nodiscard]] std::uint32_t next(std::uint32_t v) const { return next_[v]; }
+  [[nodiscard]] std::uint32_t prev(std::uint32_t v) const { return prev_[v]; }
+  [[nodiscard]] double weight(std::uint32_t v) const { return w_[v]; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool is_sentinel(std::uint32_t v) const {
+    return v == head_ || v == tail_;
+  }
+
+  /// Creates a parent node over two arbitrary nodes *without* touching
+  /// the list links.  Used by the sorted-endgame drain of oat_parallel,
+  /// which manages its own (two-queue) order and only needs the combine
+  /// forest recorded for leaf_levels().
+  std::uint32_t make_parent(std::uint32_t x, std::uint32_t y) {
+    std::uint32_t z = push_node(w_[x] + w_[y]);
+    child_[z] = {x, y};
+    --size_;
+    return z;
+  }
+
+  [[nodiscard]] std::size_t arena_size() const noexcept { return w_.size(); }
+
+  /// Combines adjacent nodes (x, next(x)) into a new node (not linked
+  /// into the list); unlinks both.  Returns the new node id.
+  std::uint32_t combine(std::uint32_t x) {
+    std::uint32_t y = next_[x];
+    std::uint32_t z = push_node(w_[x] + w_[y]);
+    child_[z] = {x, y};
+    // Unlink x and y.
+    std::uint32_t before = prev_[x], after = next_[y];
+    next_[before] = after;
+    prev_[after] = before;
+    --size_;  // two removed, one pending insert
+    return z;
+  }
+
+  /// GW reinsertion: scanning right from `from`, inserts z before the
+  /// first node with weight >= w(z) (the tail sentinel always qualifies).
+  /// Returns the number of nodes scanned (work accounting).
+  std::size_t reinsert(std::uint32_t z, std::uint32_t from) {
+    std::size_t scanned = 0;
+    std::uint32_t q = from;
+    while (w_[q] < w_[z]) {
+      q = next_[q];
+      ++scanned;
+    }
+    std::uint32_t before = prev_[q];
+    next_[before] = z;
+    prev_[z] = before;
+    next_[z] = q;
+    prev_[q] = z;
+    return scanned;
+  }
+
+  /// Leaf levels (depths in the combine forest) for leaves 0..n_leaves-1.
+  /// Requires the list to have collapsed to a single root node.
+  [[nodiscard]] std::vector<std::uint32_t> leaf_levels(
+      std::size_t n_leaves) const {
+    std::vector<std::uint32_t> depth(w_.size(), 0);
+    // Internal nodes were appended after creation of their children, so a
+    // reverse pass assigns depths top-down.
+    for (std::size_t v = w_.size(); v > 0; --v) {
+      std::uint32_t id = static_cast<std::uint32_t>(v - 1);
+      if (child_[id].first == kNone) continue;
+      depth[child_[id].first] = depth[id] + 1;
+      depth[child_[id].second] = depth[id] + 1;
+    }
+    depth.resize(n_leaves);
+    return depth;
+  }
+
+ private:
+  std::uint32_t push_node(double weight) {
+    w_.push_back(weight);
+    prev_.push_back(kNone);
+    next_.push_back(kNone);
+    child_.push_back({kNone, kNone});
+    return static_cast<std::uint32_t>(w_.size() - 1);
+  }
+
+  std::vector<double> w_;
+  std::vector<std::uint32_t> prev_, next_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> child_;
+  std::uint32_t head_ = kNone, tail_ = kNone;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cordon::oat::detail

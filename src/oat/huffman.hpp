@@ -1,0 +1,62 @@
+// Huffman coding (the unordered counterpart of OAT).
+//
+// The paper situates OAT next to Huffman [55] and OBST [64]: Huffman
+// minimizes sum w_i * depth_i over *all* binary trees, OAT over trees
+// whose leaves keep the input order.  Having both lets tests and
+// examples sandwich the alphabetic optimum:
+//     huffman_cost(w) <= oat_cost(w)  (fewer constraints)
+// and quantify the price of order preservation.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace cordon::oat {
+
+struct HuffmanResult {
+  std::vector<std::uint32_t> lengths;  // codeword length per symbol
+  double cost = 0;                     // sum w_i * length_i
+};
+
+/// Classic two-heap Huffman, O(n log n).
+[[nodiscard]] inline HuffmanResult huffman(const std::vector<double>& w) {
+  HuffmanResult res;
+  const std::size_t n = w.size();
+  res.lengths.assign(n, 0);
+  if (n <= 1) return res;
+
+  struct Node {
+    double weight;
+    std::uint32_t id;  // arena id
+  };
+  auto cmp = [](const Node& a, const Node& b) { return a.weight > b.weight; };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  // Arena: leaves then internal combines; parent links give depths.
+  std::vector<std::uint32_t> parent(n, 0xffffffffu);
+  for (std::uint32_t i = 0; i < n; ++i) heap.push({w[i], i});
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    std::uint32_t z = static_cast<std::uint32_t>(parent.size());
+    parent.push_back(0xffffffffu);
+    parent[a.id] = z;
+    parent[b.id] = z;
+    heap.push({a.weight + b.weight, z});
+  }
+  // Depths: walk parents top-down (parents have larger arena ids).
+  std::vector<std::uint32_t> depth(parent.size(), 0);
+  for (std::size_t v = parent.size(); v > 0; --v) {
+    std::uint32_t id = static_cast<std::uint32_t>(v - 1);
+    if (parent[id] != 0xffffffffu) depth[id] = depth[parent[id]] + 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    res.lengths[i] = depth[i];
+    res.cost += w[i] * depth[i];
+  }
+  return res;
+}
+
+}  // namespace cordon::oat

@@ -1,0 +1,117 @@
+#include "src/obst/obst.hpp"
+
+#include <limits>
+
+#include "src/parallel/primitives.hpp"
+
+namespace cordon::obst {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Tables {
+  std::size_t n;
+  std::vector<double> d;           // (n+1)^2, row-major
+  std::vector<std::uint32_t> root;
+  std::vector<double> prefix;      // prefix[i] = w[0] + ... + w[i-1]
+
+  explicit Tables(const std::vector<double>& w)
+      : n(w.size()),
+        d((n + 1) * (n + 1), kInf),
+        root((n + 1) * (n + 1), 0),
+        prefix(n + 1, 0.0) {
+    for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + w[i];
+    for (std::size_t i = 0; i <= n; ++i) at(i, i) = 0.0;
+  }
+
+  double& at(std::size_t i, std::size_t j) { return d[i * (n + 1) + j]; }
+  [[nodiscard]] double get(std::size_t i, std::size_t j) const {
+    return d[i * (n + 1) + j];
+  }
+  std::uint32_t& rt(std::size_t i, std::size_t j) {
+    return root[i * (n + 1) + j];
+  }
+  [[nodiscard]] double weight(std::size_t i, std::size_t j) const {
+    return prefix[j] - prefix[i];
+  }
+};
+
+// Fills one cell scanning decisions in [klo, khi]; returns (cost, argmin).
+void fill_cell(Tables& t, std::size_t i, std::size_t j, std::size_t klo,
+               std::size_t khi, core::AtomicDpStats& stats) {
+  double best = kInf;
+  std::size_t best_k = klo;
+  for (std::size_t k = klo; k <= khi; ++k) {
+    double v = t.get(i, k) + t.get(k + 1, j);
+    if (v < best) {
+      best = v;
+      best_k = k;
+    }
+  }
+  stats.add_relaxations(khi - klo + 1);
+  stats.add_states(1);
+  t.at(i, j) = best + t.weight(i, j);
+  t.rt(i, j) = static_cast<std::uint32_t>(best_k);
+}
+
+ObstResult finish(Tables& t, core::AtomicDpStats& stats) {
+  ObstResult res;
+  res.n = t.n;
+  res.cost = t.get(0, t.n);
+  res.root = std::move(t.root);
+  res.stats = stats.snapshot();
+  return res;
+}
+
+}  // namespace
+
+ObstResult obst_naive(const std::vector<double>& w) {
+  Tables t(w);
+  core::AtomicDpStats stats;
+  for (std::size_t delta = 1; delta <= t.n; ++delta) {
+    stats.add_round();
+    for (std::size_t i = 0; i + delta <= t.n; ++i)
+      fill_cell(t, i, i + delta, i, i + delta - 1, stats);
+  }
+  return finish(t, stats);
+}
+
+ObstResult obst_knuth(const std::vector<double>& w) {
+  Tables t(w);
+  core::AtomicDpStats stats;
+  for (std::size_t delta = 1; delta <= t.n; ++delta) {
+    stats.add_round();
+    for (std::size_t i = 0; i + delta <= t.n; ++i) {
+      std::size_t j = i + delta;
+      // Knuth's ranges: best split is monotone in both endpoints.
+      std::size_t klo = delta == 1 ? i : t.rt(i, j - 1);
+      std::size_t khi = delta == 1 ? i : std::min<std::size_t>(t.rt(i + 1, j),
+                                                               j - 1);
+      fill_cell(t, i, j, klo, khi, stats);
+    }
+  }
+  return finish(t, stats);
+}
+
+ObstResult obst_parallel(const std::vector<double>& w) {
+  Tables t(w);
+  core::AtomicDpStats stats;
+  // Diagonal wavefront: the delta-th cordon frontier is exactly the
+  // diagonal j - i == delta (Sec. 5.5); cells of one diagonal are
+  // independent given the previous diagonals and can use the same Knuth
+  // ranges because rt(i, j-1) and rt(i+1, j) live on earlier diagonals.
+  for (std::size_t delta = 1; delta <= t.n; ++delta) {
+    stats.add_round();
+    std::size_t cells = t.n - delta + 1;
+    parallel::parallel_for(0, cells, [&](std::size_t i) {
+      std::size_t j = i + delta;
+      std::size_t klo = delta == 1 ? i : t.rt(i, j - 1);
+      std::size_t khi =
+          delta == 1 ? i : std::min<std::size_t>(t.rt(i + 1, j), j - 1);
+      fill_cell(t, i, j, klo, khi, stats);
+    });
+  }
+  return finish(t, stats);
+}
+
+}  // namespace cordon::obst

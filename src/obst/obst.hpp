@@ -1,0 +1,39 @@
+// Optimal Binary Search Tree (Sec. 5.5): Knuth's classic DM example.
+//   D[i][j] = min_{i<=k<j} D[i][k] + D[k][j] + W(i, j),  D[i][i] = 0,
+// over keys i+1..j (W(i, j) = total access weight of that key range).
+//
+//   * obst_naive    — O(n^3): full decision range per cell (oracle),
+//   * obst_knuth    — O(n^2): Knuth's bound best[i][j-1] <= k <=
+//     best[i+1][j] (sequential),
+//   * obst_parallel — Cordon view: the delta-th frontier is the diagonal
+//     {D[i][i+delta]}; each round computes one diagonal in parallel with
+//     the Knuth ranges.  n-1 rounds (the paper notes o(n) span needs a
+//     different recurrence — this is the *optimal parallelization* of the
+//     classic algorithm, not a redesign).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+
+namespace cordon::obst {
+
+struct ObstResult {
+  double cost = 0;  // optimal cost D[0][n]
+  core::DpStats stats;
+  std::vector<std::uint32_t> root;  // root[i*(n+1)+j]: best split of (i, j)
+  std::size_t n = 0;
+
+  [[nodiscard]] std::uint32_t root_of(std::size_t i, std::size_t j) const {
+    return root[i * (n + 1) + j];
+  }
+};
+
+/// Weights w[0..n-1] = access frequency of key k (internal-node model:
+/// cost = sum over keys of w[k] * (depth[k] + 1)).
+[[nodiscard]] ObstResult obst_naive(const std::vector<double>& w);
+[[nodiscard]] ObstResult obst_knuth(const std::vector<double>& w);
+[[nodiscard]] ObstResult obst_parallel(const std::vector<double>& w);
+
+}  // namespace cordon::obst

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random generation for workloads and tests.
+//
+// All workload generators in bench/ and tests/ are seeded, so every run of
+// an experiment sees the same input.  splitmix64 gives independent streams
+// per index, which lets generators fill arrays with parallel_for without
+// any ordering dependence between elements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/parallel/primitives.hpp"
+
+namespace cordon::parallel {
+
+/// Stateless hash-based RNG: hash64(seed, i) is an independent uniform
+/// 64-bit value for each (seed, i) pair.
+inline std::uint64_t hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash64(std::uint64_t seed, std::uint64_t i) noexcept {
+  return hash64(seed * 0x100000001b3ull + i);
+}
+
+/// Uniform value in [0, bound).
+inline std::uint64_t uniform(std::uint64_t seed, std::uint64_t i,
+                             std::uint64_t bound) noexcept {
+  return hash64(seed, i) % bound;
+}
+
+/// Uniform double in [0, 1).
+inline double uniform_double(std::uint64_t seed, std::uint64_t i) noexcept {
+  return static_cast<double>(hash64(seed, i) >> 11) * 0x1.0p-53;
+}
+
+/// Random permutation of [0, n) via parallel-friendly Fisher–Yates seeding
+/// (sequential swap loop; used for test inputs, not in timed sections).
+inline std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                     std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = hash64(seed, i) % i;
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace cordon::parallel

@@ -1,0 +1,207 @@
+#include "src/parallel/scheduler.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cordon::parallel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Chase-Lev work-stealing deque (Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP'13).  The owner pushes and
+// pops at the bottom; thieves steal from the top.  Capacity is fixed: the
+// number of outstanding jobs per worker is bounded by the fork recursion
+// depth, which for all algorithms here is O(log n + log #workers).
+// ---------------------------------------------------------------------------
+class Deque {
+ public:
+  static constexpr std::size_t kCapacity = 1u << 16;
+
+  bool push(detail::Job* job) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    // Release on the slot itself (not just the fence): the thief's
+    // acquire load of the same slot then carries the job's plain fields
+    // with it — this is what lets ThreadSanitizer verify the handoff.
+    buffer_[static_cast<std::size_t>(b) & kMask].store(
+        job, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  detail::Job* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    detail::Job* job =
+        buffer_[static_cast<std::size_t>(b) & kMask].load(
+            std::memory_order_relaxed);
+    if (t == b) {  // last element: race with thieves
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        job = nullptr;  // lost the race
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  detail::Job* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    detail::Job* job =
+        buffer_[static_cast<std::size_t>(t) & kMask].load(
+            std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost to another thief or the owner
+    }
+    return job;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kCapacity - 1;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<detail::Job*>> buffer_{kCapacity};
+};
+
+struct Pool {
+  std::vector<std::unique_ptr<Deque>> deques;
+  std::vector<std::thread> threads;
+  std::atomic<bool> shutting_down{false};
+  std::size_t n = 1;
+
+  explicit Pool(std::size_t workers);
+  ~Pool();
+
+  detail::Job* try_steal(std::size_t self, std::uint64_t& rng);
+  void worker_loop(std::size_t id);
+};
+
+thread_local std::size_t t_worker_id = 0;
+thread_local bool t_is_worker = false;
+thread_local bool t_sequential = false;
+
+std::size_t configured_workers() {
+  if (const char* env = std::getenv("CORDON_NUM_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+Pool* g_pool = nullptr;
+std::once_flag g_pool_once;
+
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+Pool::Pool(std::size_t workers) : n(workers) {
+  deques.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    deques.push_back(std::make_unique<Deque>());
+  // Worker 0 is the thread that created the pool (typically main); spawn
+  // the remaining n-1 threads.
+  t_worker_id = 0;
+  t_is_worker = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    threads.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Pool::~Pool() {
+  shutting_down.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+}
+
+detail::Job* Pool::try_steal(std::size_t self, std::uint64_t& rng) {
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    std::size_t victim = next_rand(rng) % n;
+    if (victim == self) continue;
+    if (detail::Job* job = deques[victim]->steal()) return job;
+  }
+  return nullptr;
+}
+
+void Pool::worker_loop(std::size_t id) {
+  t_worker_id = id;
+  t_is_worker = true;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull * (id + 1) + 1;
+  std::size_t idle_spins = 0;
+  while (!shutting_down.load(std::memory_order_acquire)) {
+    detail::Job* job = deques[id]->pop();
+    if (job == nullptr) job = try_steal(id, rng);
+    if (job != nullptr) {
+      job->run();
+      idle_spins = 0;
+    } else if (++idle_spins > 256) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Pool& pool() {
+  std::call_once(g_pool_once, [] { g_pool = new Pool(configured_workers()); });
+  return *g_pool;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool push_job(Job* job) {
+  if (!t_is_worker) return false;
+  return pool().deques[t_worker_id]->push(job);
+}
+
+Job* pop_job() { return pool().deques[t_worker_id]->pop(); }
+
+void wait_for(Job* job) {
+  Pool& p = pool();
+  std::uint64_t rng = 0xdeadbeefcafef00dull + t_worker_id;
+  while (!job->done.load(std::memory_order_acquire)) {
+    Job* other = p.deques[t_worker_id]->pop();
+    if (other == nullptr) other = p.try_steal(t_worker_id, rng);
+    if (other != nullptr) {
+      other->run();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool in_sequential_region() noexcept { return t_sequential; }
+void set_sequential_region(bool on) noexcept { t_sequential = on; }
+
+}  // namespace detail
+
+std::size_t num_workers() noexcept {
+  static std::size_t n = configured_workers();
+  return n;
+}
+
+std::size_t worker_id() noexcept { return t_worker_id; }
+
+void ensure_started() { (void)pool(); }
+
+}  // namespace cordon::parallel

@@ -1,0 +1,154 @@
+// Fork-join work-stealing scheduler.
+//
+// This is the runtime substrate for the whole library.  The paper's
+// implementation uses ParlayLib's scheduler; we implement the same design
+// from scratch: one Chase-Lev deque per worker, binary forking via
+// `par_do`, and helping (a thread blocked on a join steals other jobs)
+// so that nested parallelism cannot deadlock.
+//
+// The model matches the binary-forking work-span model of the paper
+// (Sec. 2): `par_do(f, g)` runs f inline and exposes g for stealing;
+// `parallel_for` is a logarithmic-depth binary split over the range.
+//
+// Thread count is taken from the environment variable CORDON_NUM_THREADS
+// (default: std::thread::hardware_concurrency()).  A `SequentialRegion`
+// RAII guard forces inline execution, which is how benchmarks produce the
+// "ours (1 thread)" series without restarting the pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace cordon::parallel {
+
+namespace detail {
+
+// A unit of stealable work.  Lives on the forking thread's stack for the
+// duration of the join, so no heap allocation is needed.
+struct Job {
+  void (*execute)(Job*) = nullptr;
+  std::atomic<bool> done{false};
+
+  void run() {
+    execute(this);
+    done.store(true, std::memory_order_release);
+  }
+};
+
+// Pushes `job` onto the calling worker's deque; returns false if the
+// calling thread is not a pool worker (caller must run the job inline).
+bool push_job(Job* job);
+// Pops the most recently pushed job from the calling worker's own deque
+// if it has not been stolen.  Returns nullptr if it was stolen.
+Job* pop_job();
+// Executes other jobs while waiting for `job->done` (helping).
+void wait_for(Job* job);
+
+bool in_sequential_region() noexcept;
+void set_sequential_region(bool on) noexcept;
+
+}  // namespace detail
+
+/// Number of worker threads in the pool (>= 1).
+std::size_t num_workers() noexcept;
+
+/// Id of the calling worker in [0, num_workers()); non-pool threads get 0.
+std::size_t worker_id() noexcept;
+
+/// Starts the pool if not yet running.  Called lazily by par_do; exposed so
+/// benchmarks can exclude startup cost from timed sections.
+void ensure_started();
+
+/// Runs `left()` and `right()` potentially in parallel; returns when both
+/// are complete.  This is the binary "fork" of the work-span model.
+template <typename Left, typename Right>
+void par_do(Left&& left, Right&& right) {
+  if (detail::in_sequential_region()) {
+    left();
+    right();
+    return;
+  }
+  ensure_started();
+
+  using RightFn = std::remove_reference_t<Right>;
+  struct RightJob : detail::Job {
+    RightFn* fn;
+    static void invoke(detail::Job* j) { (*static_cast<RightJob*>(j)->fn)(); }
+  };
+  RightJob job;
+  job.fn = &right;
+  job.execute = &RightJob::invoke;
+
+  if (!detail::push_job(&job)) {
+    // Called from a non-pool thread (e.g., main before the pool spun up a
+    // worker context): run sequentially inline.
+    left();
+    right();
+    return;
+  }
+  left();
+  if (detail::Job* mine = detail::pop_job(); mine != nullptr) {
+    // Not stolen: run inline (the common, allocation-free fast path).
+    static_cast<RightJob*>(mine)->run();
+  } else {
+    detail::wait_for(&job);
+  }
+}
+
+namespace detail {
+
+template <typename F>
+void parallel_for_rec(std::size_t lo, std::size_t hi, std::size_t gran,
+                      const F& f) {
+  if (hi - lo <= gran) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  std::size_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_rec(lo, mid, gran, f); },
+         [&] { parallel_for_rec(mid, hi, gran, f); });
+}
+
+}  // namespace detail
+
+/// Applies f(i) for i in [lo, hi) in parallel.  `granularity` is the
+/// largest chunk executed sequentially; 0 picks a size that exposes
+/// ~8 chunks per worker (enough slack for stealing without drowning in
+/// fork overhead).
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, const F& f,
+                  std::size_t granularity = 0) {
+  if (hi <= lo) return;
+  std::size_t n = hi - lo;
+  if (granularity == 0) {
+    std::size_t chunks = 8 * num_workers();
+    granularity = n / chunks + 1;
+    if (granularity < 64 && n > 64) granularity = 64;
+  }
+  if (n <= granularity || detail::in_sequential_region()) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  detail::parallel_for_rec(lo, hi, granularity, f);
+}
+
+/// RAII guard: while alive, all par_do/parallel_for on this thread run
+/// inline.  Used for the "1 thread" benchmark series and as a fallback in
+/// recursive helpers once subproblems are tiny.
+class SequentialRegion {
+ public:
+  SequentialRegion() : prev_(detail::in_sequential_region()) {
+    detail::set_sequential_region(true);
+  }
+  ~SequentialRegion() { detail::set_sequential_region(prev_); }
+  SequentialRegion(const SequentialRegion&) = delete;
+  SequentialRegion& operator=(const SequentialRegion&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace cordon::parallel

@@ -1,0 +1,116 @@
+// Sorted best-decision triple array `B` for the parallel GLWS (Alg. 1).
+//
+// B stores triples ([l, r], j) in increasing order of l, covering a
+// contiguous range of tentative states: best[i] = j for every l <= i <= r.
+// Supports
+//   * best_of(i)            — O(log n) lookup (Alg. 1 line 13),
+//   * first_win(j, eval, lo) — the binary search of Alg. 1 line 15: the
+//     first state i >= lo that candidate j would *successfully relax*,
+//     i.e., eval(j, i) < eval(best(i), i).  For convex costs and a
+//     candidate newer than everything in B, the win-set is a suffix
+//     (intersection of per-candidate suffixes), so binary search is sound.
+//
+// The list is rebuilt (convex) or merged (concave, Alg. 2) each round by
+// glws_parallel.cpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/structures/monotonic_queue.hpp"  // DecisionInterval
+
+namespace cordon::structures {
+
+class BestDecisionList {
+ public:
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+  BestDecisionList() = default;
+  explicit BestDecisionList(std::vector<DecisionInterval> triples)
+      : triples_(std::move(triples)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return triples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return triples_.size(); }
+  [[nodiscard]] const std::vector<DecisionInterval>& triples() const noexcept {
+    return triples_;
+  }
+  [[nodiscard]] std::size_t cover_lo() const {
+    return triples_.empty() ? kNone : triples_.front().l;
+  }
+  [[nodiscard]] std::size_t cover_hi() const {
+    return triples_.empty() ? 0 : triples_.back().r;
+  }
+
+  /// Best decision currently recorded for state i; kNone if i is outside
+  /// the covered range.
+  [[nodiscard]] std::size_t best_of(std::size_t i) const {
+    std::size_t t = triple_index(i);
+    return t == kNone ? kNone : triples_[t].j;
+  }
+
+  /// First state i >= lo (within the covered range) where candidate j
+  /// beats the recorded envelope: eval(j, i) < eval(best(i), i).
+  /// Returns kNone if j wins nowhere.  Requires the win-set to be a
+  /// suffix, which holds for convex costs with j newer than all recorded
+  /// decisions (see header comment).
+  template <typename Eval>
+  [[nodiscard]] std::size_t first_win(std::size_t j, const Eval& eval,
+                                      std::size_t lo) const {
+    if (triples_.empty()) return kNone;
+    std::size_t hi = cover_hi();
+    if (lo > hi) return kNone;
+    if (lo < cover_lo()) lo = cover_lo();
+    auto wins = [&](std::size_t i) {
+      std::size_t b = best_of(i);
+      assert(b != kNone);
+      return eval(j, i) < eval(b, i);
+    };
+    if (!wins(hi)) return kNone;
+    if (wins(lo)) return lo;
+    // Invariant: !wins(lo), wins(hi).
+    while (lo + 1 < hi) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      if (wins(mid))
+        hi = mid;
+      else
+        lo = mid;
+    }
+    return hi;
+  }
+
+  /// Replaces the whole list (convex rounds rebuild B from scratch).
+  void assign(std::vector<DecisionInterval> triples) {
+    triples_ = std::move(triples);
+  }
+
+  /// Drops every triple (or triple prefix) covering states < lo.  Used
+  /// when the frontier advances past the start of the covered range.
+  void advance_to(std::size_t lo) {
+    std::size_t keep = 0;
+    while (keep < triples_.size() && triples_[keep].r < lo) ++keep;
+    if (keep > 0) triples_.erase(triples_.begin(),
+                                 triples_.begin() + static_cast<std::ptrdiff_t>(keep));
+    if (!triples_.empty() && triples_.front().l < lo) triples_.front().l = lo;
+  }
+
+ private:
+  [[nodiscard]] std::size_t triple_index(std::size_t i) const {
+    if (triples_.empty() || i < triples_.front().l || i > triples_.back().r)
+      return kNone;
+    std::size_t lo = 0, hi = triples_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      if (triples_[mid].r < i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  std::vector<DecisionInterval> triples_;
+};
+
+}  // namespace cordon::structures

@@ -1,0 +1,39 @@
+#include "src/structures/cartesian_tree.hpp"
+
+namespace cordon::structures {
+
+CartesianTree build_cartesian_tree(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  CartesianTree t;
+  t.parent.assign(n, CartesianTree::kNone);
+  t.left.assign(n, CartesianTree::kNone);
+  t.right.assign(n, CartesianTree::kNone);
+  if (n == 0) return t;
+
+  // Classic rightmost-spine stack construction.  New element i pops every
+  // spine node with strictly larger weight (ties keep the earlier node
+  // higher, making the leftmost minimum the root), adopts the last popped
+  // node as its left child, and attaches as right child of the survivor.
+  std::vector<std::uint32_t> spine;
+  spine.reserve(64);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t last_popped = CartesianTree::kNone;
+    while (!spine.empty() && weights[spine.back()] > weights[i]) {
+      last_popped = spine.back();
+      spine.pop_back();
+    }
+    if (last_popped != CartesianTree::kNone) {
+      t.left[i] = last_popped;
+      t.parent[last_popped] = i;
+    }
+    if (!spine.empty()) {
+      t.right[spine.back()] = i;
+      t.parent[i] = spine.back();
+    }
+    spine.push_back(i);
+  }
+  t.root = spine.front();
+  return t;
+}
+
+}  // namespace cordon::structures

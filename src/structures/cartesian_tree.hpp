@@ -1,0 +1,28 @@
+// Cartesian tree construction (min-heap over a weight sequence).
+//
+// The substrate of the parallel OAT algorithm (Appendix A): valleys of
+// the weight sequence are exactly subtrees of its Cartesian tree, and the
+// "parent of a valley" Δα is the subtree parent's weight.  Ties are
+// broken towards the left so the tree is unique.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cordon::structures {
+
+struct CartesianTree {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::vector<std::uint32_t> parent;  // kNone for the root
+  std::vector<std::uint32_t> left;    // kNone if absent
+  std::vector<std::uint32_t> right;
+  std::uint32_t root = kNone;
+};
+
+/// Builds the min-heap Cartesian tree of `weights` (leftmost minimum at
+/// the root).  O(n) stack-based construction.
+[[nodiscard]] CartesianTree build_cartesian_tree(
+    const std::vector<double>& weights);
+
+}  // namespace cordon::structures

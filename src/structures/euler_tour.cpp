@@ -1,0 +1,50 @@
+#include "src/structures/tree_utils.hpp"
+
+namespace cordon::structures {
+
+EulerTour build_euler_tour(const RootedTree& tree) {
+  const std::size_t n = tree.size();
+  EulerTour et;
+  et.tin.assign(n, 0);
+  et.tout.assign(n, 0);
+  et.depth.assign(n, 0);
+  et.order.reserve(n);
+
+  // Iterative preorder DFS; children pushed in reverse so they pop in
+  // index order.
+  std::vector<std::uint32_t> stack;
+  stack.push_back(tree.root);
+  while (!stack.empty()) {
+    std::uint32_t v = stack.back();
+    stack.pop_back();
+    et.tin[v] = static_cast<std::uint32_t>(et.order.size());
+    et.order.push_back(v);
+    if (tree.parent[v] != kNoNode) et.depth[v] = et.depth[tree.parent[v]] + 1;
+    const auto& ch = tree.children[v];
+    for (std::size_t k = ch.size(); k > 0; --k) stack.push_back(ch[k - 1]);
+  }
+  // tout via a reverse pass: tout[v] = max over subtree of tin + 1.  In
+  // preorder, a node's subtree occupies a contiguous block, so scanning
+  // the order backwards and propagating to parents is enough.
+  for (std::size_t t = n; t > 0; --t) {
+    std::uint32_t v = et.order[t - 1];
+    if (et.tout[v] < et.tin[v] + 1) et.tout[v] = et.tin[v] + 1;
+    std::uint32_t p = tree.parent[v];
+    if (p != kNoNode && et.tout[p] < et.tout[v]) et.tout[p] = et.tout[v];
+  }
+  return et;
+}
+
+std::vector<std::uint32_t> subtree_sizes(const RootedTree& tree) {
+  EulerTour et = build_euler_tour(tree);
+  std::vector<std::uint32_t> size(tree.size(), 1);
+  // Reverse preorder: children are finished before their parent.
+  for (std::size_t t = tree.size(); t > 0; --t) {
+    std::uint32_t v = et.order[t - 1];
+    std::uint32_t p = tree.parent[v];
+    if (p != kNoNode) size[p] += size[v];
+  }
+  return size;
+}
+
+}  // namespace cordon::structures

@@ -1,0 +1,55 @@
+// Heavy-light decomposition (Sec. 5.3.1).
+//
+// Decomposes a rooted tree into heavy chains: every root-to-node path
+// crosses O(log n) chains.  Nodes of one chain occupy a contiguous range
+// of `pos`, so any associative per-node aggregate over a root-to-v path
+// can be computed by combining O(log n) range queries — Tree-GLWS uses a
+// min-segment-tree over `pos` to locate the shallowest unavailable node
+// on a path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/structures/tree_utils.hpp"
+
+namespace cordon::structures {
+
+class HeavyLightDecomposition {
+ public:
+  explicit HeavyLightDecomposition(const RootedTree& tree);
+
+  /// Position of node v in the linearized chain order (0..n-1).
+  [[nodiscard]] std::uint32_t pos(std::uint32_t v) const { return pos_[v]; }
+  /// Head (shallowest node) of the chain containing v.
+  [[nodiscard]] std::uint32_t chain_head(std::uint32_t v) const {
+    return head_[v];
+  }
+  [[nodiscard]] std::uint32_t parent(std::uint32_t v) const {
+    return parent_[v];
+  }
+  [[nodiscard]] std::uint32_t node_at(std::uint32_t position) const {
+    return order_[position];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return pos_.size(); }
+
+  /// Calls fn(lo, hi) for each contiguous pos-range [lo, hi) on the path
+  /// from the root to v.  Ranges are reported *from v upward* (deepest
+  /// chain segment first); there are O(log n) of them.
+  template <typename Fn>
+  void for_each_root_path_segment(std::uint32_t v, Fn&& fn) const {
+    while (v != kNoNode) {
+      std::uint32_t h = head_[v];
+      fn(pos_[h], pos_[v] + 1);
+      v = parent_[h];
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace cordon::structures

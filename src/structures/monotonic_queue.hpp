@@ -1,0 +1,137 @@
+// Candidate deque for the sequential GLWS algorithm Γlws (Sec. 4.1).
+//
+// Maintains the compressed best-decision array best[(i+1)..n] as a list of
+// triples ([l, r], j): every state in [l, r] currently has best decision j
+// among the candidates inserted so far.  Convex costs admit new candidates
+// on a *suffix* of future states (insert trims from the back); concave
+// costs admit them on a *prefix* (insert trims from the front).  This is
+// the inherently sequential structure the paper's parallel Alg. 1
+// replaces; we keep it as the Γlws baseline and as a test oracle.
+//
+// Eval is a callable eval(j, i) -> double returning E[j] + w(j, i).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace cordon::structures {
+
+struct DecisionInterval {
+  std::size_t l;
+  std::size_t r;
+  std::size_t j;
+};
+
+template <typename Eval>
+class MonotonicQueue {
+ public:
+  /// States to be decided are 1..n; candidates are 0..n-1.
+  MonotonicQueue(std::size_t n, Eval eval) : n_(n), eval_(eval) {}
+
+  /// Best candidate for state i among all inserted so far.  Consumes
+  /// intervals whose range ended before i (amortized O(1)).
+  [[nodiscard]] std::size_t best(std::size_t i) {
+    assert(!q_.empty());
+    while (q_.front().r < i) q_.pop_front();
+    assert(q_.front().l <= i);
+    return q_.front().j;
+  }
+
+  /// Inserts candidate j, valid for states j+1..n.  Convex variant:
+  /// j wins on a suffix of the remaining states.
+  void insert_convex(std::size_t j) {
+    std::size_t lo = j + 1;
+    if (lo > n_) return;
+    if (q_.empty()) {
+      q_.push_back({lo, n_, j});
+      return;
+    }
+    // Pop intervals at the back that j fully dominates.
+    while (!q_.empty()) {
+      auto& b = q_.back();
+      std::size_t start = std::max(b.l, lo);
+      if (start > b.r) break;
+      if (eval_(j, start) < eval_(b.j, start)) {
+        if (start == b.l) {
+          q_.pop_back();
+          continue;
+        }
+        b.r = start - 1;
+        q_.push_back({start, n_, j});
+        return;
+      }
+      // j loses at start; binary search the first state where j wins.
+      if (eval_(j, b.r) >= eval_(b.j, b.r)) break;  // j never wins in b
+      std::size_t lo2 = start, hi2 = b.r;  // lose at lo2, win at hi2
+      while (lo2 + 1 < hi2) {
+        std::size_t mid = lo2 + (hi2 - lo2) / 2;
+        if (eval_(j, mid) < eval_(b.j, mid))
+          hi2 = mid;
+        else
+          lo2 = mid;
+      }
+      b.r = hi2 - 1;
+      q_.push_back({hi2, n_, j});
+      return;
+    }
+    if (q_.empty()) {
+      q_.push_back({lo, n_, j});
+    } else if (q_.back().r < n_) {
+      // j wins only after the last interval's right end — impossible by
+      // construction (intervals always extend to n), kept as a guard.
+      q_.push_back({q_.back().r + 1, n_, j});
+    }
+    // Otherwise j wins nowhere: discard.
+  }
+
+  /// Concave variant: j wins on a prefix of the remaining states.
+  void insert_concave(std::size_t j) {
+    std::size_t lo = j + 1;
+    if (lo > n_) return;
+    if (q_.empty()) {
+      q_.push_back({lo, n_, j});
+      return;
+    }
+    std::size_t won_up_to = lo - 1;  // j wins on [lo, won_up_to]
+    while (!q_.empty()) {
+      auto& f = q_.front();
+      std::size_t start = std::max(f.l, lo);
+      if (start > f.r) {
+        q_.pop_front();
+        continue;
+      }
+      if (eval_(j, start) >= eval_(f.j, start)) break;  // j loses at start
+      if (eval_(j, f.r) < eval_(f.j, f.r)) {
+        // j dominates all of f.
+        won_up_to = f.r;
+        q_.pop_front();
+        continue;
+      }
+      // j wins at start, loses at f.r: binary search the last win.
+      std::size_t lo2 = start, hi2 = f.r;  // win at lo2, lose at hi2
+      while (lo2 + 1 < hi2) {
+        std::size_t mid = lo2 + (hi2 - lo2) / 2;
+        if (eval_(j, mid) < eval_(f.j, mid))
+          lo2 = mid;
+        else
+          hi2 = mid;
+      }
+      won_up_to = lo2;
+      f.l = lo2 + 1;
+      break;
+    }
+    if (won_up_to >= lo) q_.push_front({lo, won_up_to, j});
+    if (q_.empty()) q_.push_back({lo, n_, j});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+
+ private:
+  std::size_t n_;
+  Eval eval_;
+  std::deque<DecisionInterval> q_;
+};
+
+}  // namespace cordon::structures

@@ -1,0 +1,155 @@
+// Persistent treap of best-decision intervals (Sec. 5.3 building block).
+//
+// Tree-GLWS keeps one best-decision list *per tree node*; sibling
+// branches share the common prefix of their root-to-node path, so the
+// lists must be persistent.  Path-copying gives every update O(log n)
+// new nodes while old versions stay valid — sharing reduces the naive
+// O(n^2) total size to O(n log n).
+//
+// Keys are the interval left endpoints (depths); intervals in one version
+// are disjoint and sorted.  All operations are functional: they return a
+// new root and never mutate existing nodes.  Nodes live in an arena owned
+// by the pool; whole-pool destruction frees every version at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/parallel/random.hpp"
+#include "src/structures/monotonic_queue.hpp"  // DecisionInterval
+
+namespace cordon::structures {
+
+class PersistentIntervalTreap {
+ public:
+  using Ref = std::uint32_t;                 // index into the arena
+  static constexpr Ref kNil = 0xffffffffu;
+
+  PersistentIntervalTreap() { nodes_.reserve(1024); }
+
+  /// Number of arena nodes allocated across all versions (space metric).
+  [[nodiscard]] std::size_t arena_size() const noexcept {
+    return nodes_.size();
+  }
+
+  [[nodiscard]] static bool is_nil(Ref t) noexcept { return t == kNil; }
+
+  /// Builds a version from sorted disjoint triples.  O(m) nodes.
+  [[nodiscard]] Ref build(const std::vector<DecisionInterval>& triples) {
+    return build_rec(triples, 0, triples.size());
+  }
+
+  /// The triple whose [l, r] contains d, or nullptr.
+  [[nodiscard]] const DecisionInterval* find(Ref t, std::size_t d) const {
+    while (!is_nil(t)) {
+      const Node& nd = nodes_[t];
+      if (d < nd.iv.l)
+        t = nd.left;
+      else if (d > nd.iv.r)
+        t = nd.right;
+      else
+        return &nd.iv;
+    }
+    return nullptr;
+  }
+
+  /// Splits by key: intervals with l < key go left, l >= key go right.
+  [[nodiscard]] std::pair<Ref, Ref> split(Ref t, std::size_t key) {
+    if (is_nil(t)) return {kNil, kNil};
+    const Node nd = nodes_[t];  // copy: arena may reallocate below
+    if (nd.iv.l < key) {
+      auto [rl, rr] = split(nd.right, key);
+      return {make(nd.iv, nd.prio, nd.left, rl), rr};
+    }
+    auto [ll, lr] = split(nd.left, key);
+    return {ll, make(nd.iv, nd.prio, lr, nd.right)};
+  }
+
+  /// Joins two versions; every key in a precedes every key in b.
+  [[nodiscard]] Ref join(Ref a, Ref b) {
+    if (is_nil(a)) return b;
+    if (is_nil(b)) return a;
+    const Node na = nodes_[a], nb = nodes_[b];
+    if (na.prio > nb.prio)
+      return make(na.iv, na.prio, na.left, join(na.right, b));
+    return make(nb.iv, nb.prio, join(a, nb.left), nb.right);
+  }
+
+  /// Inserts one triple (no overlap with existing keys assumed).
+  [[nodiscard]] Ref insert(Ref t, const DecisionInterval& iv) {
+    auto [l, r] = split(t, iv.l);
+    Ref single = make(iv, parallel::hash64(seed_, nodes_.size()), kNil, kNil);
+    return join(join(l, single), r);
+  }
+
+  /// Leftmost triple for which pred(triple) is true, assuming pred is
+  /// monotone over the sorted triples (false... false true... true).
+  /// Returns nullptr when pred is false everywhere.
+  template <typename Pred>
+  [[nodiscard]] const DecisionInterval* find_first(Ref t,
+                                                   const Pred& pred) const {
+    const DecisionInterval* best = nullptr;
+    while (!is_nil(t)) {
+      const Node& nd = nodes_[t];
+      if (pred(nd.iv)) {
+        best = &nd.iv;
+        t = nd.left;
+      } else {
+        t = nd.right;
+      }
+    }
+    return best;
+  }
+
+  /// In-order flatten of a version.
+  void flatten(Ref t, std::vector<DecisionInterval>& out) const {
+    if (is_nil(t)) return;
+    const Node& nd = nodes_[t];
+    flatten(nd.left, out);
+    out.push_back(nd.iv);
+    flatten(nd.right, out);
+  }
+
+  /// Rightmost (largest-l) triple; nullptr for an empty version.
+  [[nodiscard]] const DecisionInterval* last(Ref t) const {
+    if (is_nil(t)) return nullptr;
+    while (!is_nil(nodes_[t].right)) t = nodes_[t].right;
+    return &nodes_[t].iv;
+  }
+
+ private:
+  struct Node {
+    DecisionInterval iv;
+    std::uint64_t prio;
+    Ref left;
+    Ref right;
+  };
+
+  Ref make(const DecisionInterval& iv, std::uint64_t prio, Ref l, Ref r) {
+    nodes_.push_back({iv, prio, l, r});
+    return static_cast<Ref>(nodes_.size() - 1);
+  }
+
+  Ref build_rec(const std::vector<DecisionInterval>& triples, std::size_t lo,
+                std::size_t hi) {
+    if (lo >= hi) return kNil;
+    // Deterministic "random" priorities give an expected-balanced treap.
+    std::size_t best = lo;
+    std::uint64_t best_prio = parallel::hash64(seed_, triples[lo].l);
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      std::uint64_t p = parallel::hash64(seed_, triples[i].l);
+      if (p > best_prio) {
+        best = i;
+        best_prio = p;
+      }
+    }
+    Ref l = build_rec(triples, lo, best);
+    Ref r = build_rec(triples, best + 1, hi);
+    return make(triples[best], best_prio, l, r);
+  }
+
+  std::uint64_t seed_ = 0x5eed5eed5eedull;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cordon::structures

@@ -1,0 +1,118 @@
+#include "src/structures/range_tree.hpp"
+
+#include <algorithm>
+
+namespace cordon::structures {
+
+RangeTree2D::RangeTree2D(std::vector<Point> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  const std::size_t n = points_.size();
+  leaves_ = 1;
+  while (leaves_ < n) leaves_ <<= 1;
+  nodes_.assign(2 * leaves_, {});
+  for (std::size_t i = 0; i < n; ++i)
+    nodes_[leaves_ + i] = {{points_[i].y, points_[i].id}};
+  for (std::size_t v = leaves_ - 1; v >= 1; --v) {
+    const auto& l = nodes_[2 * v];
+    const auto& r = nodes_[2 * v + 1];
+    auto& dst = nodes_[v];
+    dst.resize(l.size() + r.size());
+    std::merge(l.begin(), l.end(), r.begin(), r.end(), dst.begin(),
+               [](const Entry& a, const Entry& b) { return a.y < b.y; });
+    if (v == 1) break;
+  }
+}
+
+namespace {
+
+// First index in `v` with y >= key.
+std::size_t lower_y(const std::vector<RangeTree2D::Entry>& v,
+                    std::uint32_t key) {
+  std::size_t lo = 0, hi = v.size();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (v[mid].y < key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> RangeTree2D::report(std::uint32_t xlo,
+                                               std::uint32_t xhi,
+                                               std::uint32_t ylo,
+                                               std::uint32_t yhi) const {
+  std::vector<std::uint32_t> out;
+  if (points_.empty() || xlo > xhi || ylo > yhi) return out;
+  // Translate x-bounds to rank range [lo, hi) over the x-sorted points.
+  auto first_ge = [&](std::uint32_t x) {
+    std::size_t lo = 0, hi = points_.size();
+    while (lo < hi) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      if (points_[mid].x < x)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+  std::size_t lo = first_ge(xlo);
+  std::size_t hi = xhi == 0xffffffffu ? points_.size() : first_ge(xhi + 1);
+  // Standard segment-tree descent over [lo, hi).
+  std::size_t l = leaves_ + lo, r = leaves_ + hi;
+  std::vector<std::size_t> cover;
+  while (l < r) {
+    if (l & 1) cover.push_back(l++);
+    if (r & 1) cover.push_back(--r);
+    l >>= 1;
+    r >>= 1;
+  }
+  for (std::size_t v : cover) {
+    const auto& entries = nodes_[v];
+    for (std::size_t i = lower_y(entries, ylo);
+         i < entries.size() && entries[i].y <= yhi; ++i)
+      out.push_back(entries[i].id);
+  }
+  return out;
+}
+
+std::size_t RangeTree2D::count(std::uint32_t xlo, std::uint32_t xhi,
+                               std::uint32_t ylo, std::uint32_t yhi) const {
+  if (points_.empty() || xlo > xhi || ylo > yhi) return 0;
+  auto first_ge = [&](std::uint32_t x) {
+    std::size_t lo = 0, hi = points_.size();
+    while (lo < hi) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      if (points_[mid].x < x)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+  std::size_t lo = first_ge(xlo);
+  std::size_t hi = xhi == 0xffffffffu ? points_.size() : first_ge(xhi + 1);
+  std::size_t l = leaves_ + lo, r = leaves_ + hi;
+  std::size_t total = 0;
+  auto count_node = [&](std::size_t v) {
+    const auto& entries = nodes_[v];
+    std::size_t a = lower_y(entries, ylo);
+    std::size_t b = yhi == 0xffffffffu ? entries.size()
+                                       : lower_y(entries, yhi + 1);
+    total += b - a;
+  };
+  while (l < r) {
+    if (l & 1) count_node(l++);
+    if (r & 1) count_node(--r);
+    l >>= 1;
+    r >>= 1;
+  }
+  return total;
+}
+
+}  // namespace cordon::structures

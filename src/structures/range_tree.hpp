@@ -1,0 +1,50 @@
+// Static 2D range reporting (Sec. 5.3.1 "Range Report Based on Tree
+// Depth").
+//
+// Points are (x, y) pairs with ids; the Tree-GLWS instantiation is
+// x = Euler-tour entry time, y = tree depth, so "nodes of a subtree with
+// depth in [dlo, dhi]" becomes one orthogonal range-report query.
+// Implemented as a merge-sort tree: O(n log n) build, O(log^2 n + out)
+// report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cordon::structures {
+
+class RangeTree2D {
+ public:
+  struct Point {
+    std::uint32_t x;
+    std::uint32_t y;
+    std::uint32_t id;
+  };
+
+  explicit RangeTree2D(std::vector<Point> points);
+  RangeTree2D() = default;
+
+  /// Ids of all points with xlo <= x <= xhi and ylo <= y <= yhi.
+  [[nodiscard]] std::vector<std::uint32_t> report(std::uint32_t xlo,
+                                                  std::uint32_t xhi,
+                                                  std::uint32_t ylo,
+                                                  std::uint32_t yhi) const;
+
+  /// Number of points in the box (same bounds semantics as report()).
+  [[nodiscard]] std::size_t count(std::uint32_t xlo, std::uint32_t xhi,
+                                  std::uint32_t ylo, std::uint32_t yhi) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  struct Entry {
+    std::uint32_t y;
+    std::uint32_t id;
+  };
+
+ private:
+  std::vector<Point> points_;              // sorted by x
+  std::size_t leaves_ = 0;                 // power-of-two leaf count
+  std::vector<std::vector<Entry>> nodes_;  // y-sorted entries per segment
+};
+
+}  // namespace cordon::structures

@@ -1,0 +1,62 @@
+// Sparse-table range-minimum queries (static, O(n log n) build, O(1) query).
+//
+// Used by the parallel OAT reinsertion step (Appendix A: find the first
+// element >= x after a position) and by tests as an oracle for tree path
+// queries.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cordon::structures {
+
+template <typename T, typename Less = std::less<T>>
+class SparseTableRmq {
+ public:
+  SparseTableRmq() = default;
+
+  explicit SparseTableRmq(std::vector<T> values, Less less = Less{})
+      : values_(std::move(values)), less_(less) {
+    std::size_t n = values_.size();
+    if (n == 0) return;
+    std::size_t levels = std::bit_width(n);
+    idx_.resize(levels);
+    idx_[0].resize(n);
+    for (std::size_t i = 0; i < n; ++i) idx_[0][i] = i;
+    for (std::size_t k = 1; k < levels; ++k) {
+      std::size_t len = std::size_t{1} << k;
+      idx_[k].resize(n - len + 1);
+      auto& prev = idx_[k - 1];
+      auto& cur = idx_[k];
+      parallel::parallel_for(0, cur.size(), [&](std::size_t i) {
+        std::size_t a = prev[i], b = prev[i + len / 2];
+        cur[i] = less_(values_[b], values_[a]) ? b : a;
+      });
+    }
+  }
+
+  /// Index of the minimum in [lo, hi) (leftmost on ties).
+  [[nodiscard]] std::size_t argmin(std::size_t lo, std::size_t hi) const {
+    std::size_t k = std::bit_width(hi - lo) - 1;
+    std::size_t a = idx_[k][lo];
+    std::size_t b = idx_[k][hi - (std::size_t{1} << k)];
+    return less_(values_[b], values_[a]) ? b : a;
+  }
+
+  [[nodiscard]] const T& min(std::size_t lo, std::size_t hi) const {
+    return values_[argmin(lo, hi)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const T& value(std::size_t i) const { return values_[i]; }
+
+ private:
+  std::vector<T> values_;
+  Less less_;
+  std::vector<std::vector<std::size_t>> idx_;
+};
+
+}  // namespace cordon::structures

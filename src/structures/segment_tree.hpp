@@ -1,0 +1,59 @@
+// Point-update / range-query segment tree over a fixed-size array.
+//
+// Used on top of the heavy-light decomposition for tree path queries in
+// Tree-GLWS: values are per-node "availability depths" and the query is a
+// range minimum along HLD chain segments.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cordon::structures {
+
+template <typename T, typename Combine = std::plus<T>>
+class SegmentTree {
+ public:
+  SegmentTree() = default;
+
+  SegmentTree(std::size_t n, T identity, Combine combine = Combine{})
+      : n_(n), identity_(identity), combine_(combine) {
+    size_ = 1;
+    while (size_ < n_) size_ <<= 1;
+    if (size_ == 0) size_ = 1;
+    tree_.assign(2 * size_, identity_);
+  }
+
+  void set(std::size_t i, const T& value) {
+    std::size_t v = size_ + i;
+    tree_[v] = value;
+    for (v >>= 1; v >= 1; v >>= 1)
+      tree_[v] = combine_(tree_[2 * v], tree_[2 * v + 1]);
+  }
+
+  [[nodiscard]] const T& get(std::size_t i) const { return tree_[size_ + i]; }
+
+  /// Combine over [lo, hi).
+  [[nodiscard]] T query(std::size_t lo, std::size_t hi) const {
+    T left = identity_, right = identity_;
+    std::size_t l = size_ + lo, r = size_ + hi;
+    while (l < r) {
+      if (l & 1) left = combine_(left, tree_[l++]);
+      if (r & 1) right = combine_(tree_[--r], right);
+      l >>= 1;
+      r >>= 1;
+    }
+    return combine_(left, right);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t size_ = 0;
+  T identity_{};
+  Combine combine_{};
+  std::vector<T> tree_;
+};
+
+}  // namespace cordon::structures

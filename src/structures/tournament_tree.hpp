@@ -1,0 +1,102 @@
+// Tournament tree for batched prefix-minimum extraction.
+//
+// The data structure from Gu et al. [47] that powers the parallel LIS and
+// sparse-LCS cordon rounds (Sec. 3).  It maintains a fixed sequence of
+// keys, some of which are "removed" (set to +inf), and supports
+//
+//   extract_prefix_minima(): return (and remove) every active position i
+//   whose key is <= the minimum active key strictly before i.
+//
+// One call identifies exactly the states on the current cordon.  The
+// extraction visits only subtrees whose minimum can contribute, giving
+// O(l log(L/l)) work for l extracted out of L stored, and parallelizes by
+// recursing on the two children with par_do (the right child's bound uses
+// the left subtree's *pre-extraction* minimum, so the sides are
+// independent).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cordon::structures {
+
+class TournamentTree {
+ public:
+  using Key = std::uint64_t;
+  static constexpr Key kInf = std::numeric_limits<Key>::max();
+
+  explicit TournamentTree(const std::vector<Key>& keys) : n_(keys.size()) {
+    size_ = 1;
+    while (size_ < n_) size_ <<= 1;
+    min_.assign(2 * size_, kInf);
+    for (std::size_t i = 0; i < n_; ++i) min_[size_ + i] = keys[i];
+    for (std::size_t v = size_ - 1; v >= 1; --v)
+      min_[v] = std::min(min_[2 * v], min_[2 * v + 1]);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return min_[1] == kInf; }
+  [[nodiscard]] Key global_min() const noexcept { return min_[1]; }
+  [[nodiscard]] Key key_at(std::size_t i) const { return min_[size_ + i]; }
+
+  /// Removes position i (sets its key to +inf) and fixes ancestors.
+  void remove(std::size_t i) {
+    std::size_t v = size_ + i;
+    min_[v] = kInf;
+    for (v >>= 1; v >= 1; v >>= 1)
+      min_[v] = std::min(min_[2 * v], min_[2 * v + 1]);
+  }
+
+  /// Extracts all active prefix-min positions in one parallel pass.
+  /// Returned positions are sorted.  Each extracted position is removed.
+  [[nodiscard]] std::vector<std::size_t> extract_prefix_minima() {
+    std::vector<std::size_t> out;
+    if (min_[1] == kInf) return out;
+    extract_rec(1, 0, size_, kInf, out);
+    return out;
+  }
+
+ private:
+  // Sequential-shaped recursion with parallel forks for large subtrees.
+  // `bound` = min active key strictly before this subtree (pre-extraction).
+  void extract_rec(std::size_t v, std::size_t lo, std::size_t hi, Key bound,
+                   std::vector<std::size_t>& out) {
+    // Nothing here can be a prefix-min: either everything is removed
+    // (min == kInf, which would spuriously satisfy inf <= inf against an
+    // infinite bound) or the subtree minimum loses to the prefix bound.
+    if (min_[v] == kInf || min_[v] > bound) return;
+    if (hi - lo == 1) {
+      // Leaf: key <= bound, so it is a prefix minimum.
+      out.push_back(lo);
+      min_[v] = kInf;
+      return;
+    }
+    std::size_t mid = lo + (hi - lo) / 2;
+    Key left_min = min_[2 * v];  // pre-extraction minimum of the left side
+    if (hi - lo >= kParCutoff) {
+      std::vector<std::size_t> right_out;
+      parallel::par_do(
+          [&] { extract_rec(2 * v, lo, mid, bound, out); },
+          [&] {
+            extract_rec(2 * v + 1, mid, hi, std::min(bound, left_min),
+                        right_out);
+          });
+      out.insert(out.end(), right_out.begin(), right_out.end());
+    } else {
+      extract_rec(2 * v, lo, mid, bound, out);
+      extract_rec(2 * v + 1, mid, hi, std::min(bound, left_min), out);
+    }
+    min_[v] = std::min(min_[2 * v], min_[2 * v + 1]);
+  }
+
+  static constexpr std::size_t kParCutoff = 1u << 14;
+
+  std::size_t n_;
+  std::size_t size_;            // leaves (power of two)
+  std::vector<Key> min_;        // 1-indexed segment-tree layout
+};
+
+}  // namespace cordon::structures

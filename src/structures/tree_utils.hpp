@@ -1,0 +1,46 @@
+// Rooted-tree utilities shared by Tree-GLWS and the tree data structures:
+// adjacency from a parent array, Euler tour, depths, subtree sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cordon::structures {
+
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/// A rooted tree given by a parent array (parent[root] == kNoNode).
+/// Children lists preserve insertion order (node index order).
+struct RootedTree {
+  std::vector<std::uint32_t> parent;
+  std::vector<std::vector<std::uint32_t>> children;
+  std::uint32_t root = 0;
+
+  explicit RootedTree(std::vector<std::uint32_t> parent_array)
+      : parent(std::move(parent_array)), children(parent.size()) {
+    for (std::uint32_t v = 0; v < parent.size(); ++v) {
+      if (parent[v] == kNoNode)
+        root = v;
+      else
+        children[parent[v]].push_back(v);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+};
+
+/// Preorder traversal data: entry/exit times (subtree of v = [tin[v],
+/// tout[v])), depth of each node, and the preorder sequence itself.
+struct EulerTour {
+  std::vector<std::uint32_t> tin;
+  std::vector<std::uint32_t> tout;
+  std::vector<std::uint32_t> depth;
+  std::vector<std::uint32_t> order;  // order[t] = node at preorder time t
+};
+
+[[nodiscard]] EulerTour build_euler_tour(const RootedTree& tree);
+
+/// Subtree sizes (iterative, reverse-preorder accumulation).
+[[nodiscard]] std::vector<std::uint32_t> subtree_sizes(const RootedTree& tree);
+
+}  // namespace cordon::structures

@@ -1,0 +1,68 @@
+// OBST: naive O(n^3) vs Knuth O(n^2) vs parallel wavefront (Sec. 5.5),
+// plus the quadratic-work property of the Knuth ranges.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/obst/obst.hpp"
+#include "src/parallel/random.hpp"
+
+using namespace cordon::obst;
+namespace cp = cordon::parallel;
+
+namespace {
+
+std::vector<double> random_freqs(std::size_t n, std::uint64_t seed) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = 1.0 + cp::uniform_double(seed, i) * 9.0;
+  return w;
+}
+
+}  // namespace
+
+class ObstSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObstSweep, ThreeEnginesAgree) {
+  const std::uint64_t seed = GetParam();
+  for (std::size_t n : {1, 2, 3, 8, 30, 60}) {
+    auto w = random_freqs(n, seed);
+    auto nv = obst_naive(w);
+    auto kv = obst_knuth(w);
+    auto pv = obst_parallel(w);
+    ASSERT_NEAR(nv.cost, kv.cost, 1e-7) << "n=" << n;
+    ASSERT_NEAR(nv.cost, pv.cost, 1e-7) << "n=" << n;
+    // Wavefront rounds = n (one diagonal per round).
+    EXPECT_EQ(pv.stats.rounds, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObstSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Obst, KnuthWorkIsQuadraticNotCubic) {
+  const std::size_t n = 300;
+  auto w = random_freqs(n, 9);
+  auto kv = obst_knuth(w);
+  auto nv = obst_naive(w);
+  // Knuth's telescoping ranges: O(n^2) total relaxations vs ~n^3/6 naive.
+  EXPECT_LT(kv.stats.relaxations, 8 * n * n);
+  EXPECT_GT(nv.stats.relaxations, static_cast<std::uint64_t>(n) * n * n / 12);
+  // Parallel wavefront does the same work as Knuth.
+  auto pv = obst_parallel(w);
+  EXPECT_EQ(pv.stats.relaxations, kv.stats.relaxations);
+}
+
+TEST(Obst, CostIsSumOfSubtreeWeights) {
+  // For n=3 with equal weights 1: optimal tree = balanced, cost = 5.
+  std::vector<double> w{1.0, 1.0, 1.0};
+  auto kv = obst_knuth(w);
+  EXPECT_DOUBLE_EQ(kv.cost, 5.0);
+}
+
+TEST(Obst, SkewedWeightsPutHeavyKeyAtRoot) {
+  std::vector<double> w{1.0, 100.0, 1.0};
+  auto kv = obst_knuth(w);
+  // root_of(0, 3) = k means key k+1 is at the root (split at k).
+  EXPECT_EQ(kv.root_of(0, 3), 1u);  // heavy middle key at depth 0
+  EXPECT_DOUBLE_EQ(kv.cost, 100.0 + 2.0 * 2.0);
+}

@@ -1,0 +1,108 @@
+// Persistent interval treap: functional semantics, version sharing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/parallel/random.hpp"
+#include "src/structures/persistent_treap.hpp"
+
+namespace cs = cordon::structures;
+using Treap = cs::PersistentIntervalTreap;
+
+TEST(PersistentTreap, BuildFindFlatten) {
+  Treap pool;
+  std::vector<cs::DecisionInterval> triples{{1, 4, 10}, {5, 9, 20}, {10, 15, 30}};
+  Treap::Ref t = pool.build(triples);
+  EXPECT_EQ(pool.find(t, 1)->j, 10u);
+  EXPECT_EQ(pool.find(t, 4)->j, 10u);
+  EXPECT_EQ(pool.find(t, 7)->j, 20u);
+  EXPECT_EQ(pool.find(t, 15)->j, 30u);
+  EXPECT_EQ(pool.find(t, 16), nullptr);
+  EXPECT_EQ(pool.find(t, 0), nullptr);
+  std::vector<cs::DecisionInterval> out;
+  pool.flatten(t, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].j, 10u);
+  EXPECT_EQ(out[2].j, 30u);
+}
+
+TEST(PersistentTreap, SplitJoinPreservesOrder) {
+  Treap pool;
+  std::vector<cs::DecisionInterval> triples;
+  for (std::size_t k = 0; k < 50; ++k) triples.push_back({3 * k, 3 * k + 2, k});
+  Treap::Ref t = pool.build(triples);
+  auto [l, r] = pool.split(t, 60);  // intervals with l < 60 go left
+  std::vector<cs::DecisionInterval> lv, rv;
+  pool.flatten(l, lv);
+  pool.flatten(r, rv);
+  EXPECT_EQ(lv.size(), 20u);
+  EXPECT_EQ(rv.size(), 30u);
+  Treap::Ref joined = pool.join(l, r);
+  std::vector<cs::DecisionInterval> all;
+  pool.flatten(joined, all);
+  ASSERT_EQ(all.size(), 50u);
+  for (std::size_t k = 0; k < 50; ++k) EXPECT_EQ(all[k].j, k);
+}
+
+TEST(PersistentTreap, OldVersionsSurviveUpdates) {
+  // The caller's protocol (see tree_glws_parallel::insert_candidate):
+  // split by key, truncate the straddling interval, insert the new
+  // suffix owner.  Old versions must remain queryable bit-for-bit.
+  Treap pool;
+  Treap::Ref v0 = pool.build({{1, 100, 7}});
+  auto [left, right] = pool.split(v0, 50);
+  (void)right;  // v0's triple has l=1 < 50, so it lives in `left`
+  // Truncate the straddler {1,100,7} -> {1,49,7}, then append {50,100,9}.
+  auto [empty, straddler] = pool.split(left, 1);
+  (void)straddler;
+  Treap::Ref v1 = pool.insert(empty, {1, 49, 7});
+  v1 = pool.insert(v1, {50, 100, 9});
+  // v0 unchanged.
+  EXPECT_EQ(pool.find(v0, 80)->j, 7u);
+  EXPECT_EQ(pool.find(v0, 10)->j, 7u);
+  // v1 split at 50.
+  EXPECT_EQ(pool.find(v1, 10)->j, 7u);
+  EXPECT_EQ(pool.find(v1, 49)->j, 7u);
+  EXPECT_EQ(pool.find(v1, 50)->j, 9u);
+  EXPECT_EQ(pool.find(v1, 80)->j, 9u);
+}
+
+TEST(PersistentTreap, FindFirstMonotonePredicate) {
+  Treap pool;
+  std::vector<cs::DecisionInterval> triples;
+  for (std::size_t k = 0; k < 100; ++k) triples.push_back({k, k, k});
+  Treap::Ref t = pool.build(triples);
+  auto pred = [](const cs::DecisionInterval& iv) { return iv.l >= 63; };
+  const cs::DecisionInterval* got = pool.find_first(t, pred);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->l, 63u);
+  auto never = [](const cs::DecisionInterval&) { return false; };
+  EXPECT_EQ(pool.find_first(t, never), nullptr);
+}
+
+TEST(PersistentTreap, LastAccessor) {
+  Treap pool;
+  EXPECT_EQ(pool.last(Treap::kNil), nullptr);
+  Treap::Ref t = pool.build({{1, 2, 5}, {3, 8, 6}, {9, 12, 7}});
+  ASSERT_NE(pool.last(t), nullptr);
+  EXPECT_EQ(pool.last(t)->j, 7u);
+}
+
+TEST(PersistentTreap, ManyRandomSplitsStayConsistent) {
+  Treap pool;
+  std::vector<cs::DecisionInterval> triples;
+  const std::size_t m = 500;
+  for (std::size_t k = 0; k < m; ++k) triples.push_back({2 * k, 2 * k + 1, k});
+  Treap::Ref t = pool.build(triples);
+  for (std::size_t step = 0; step < 100; ++step) {
+    std::size_t key = cordon::parallel::hash64(3, step) % (2 * m);
+    auto [l, r] = pool.split(t, key);
+    std::vector<cs::DecisionInterval> lv, rv;
+    pool.flatten(l, lv);
+    pool.flatten(r, rv);
+    for (const auto& iv : lv) ASSERT_LT(iv.l, key);
+    for (const auto& iv : rv) ASSERT_GE(iv.l, key);
+    ASSERT_EQ(lv.size() + rv.size(), m);
+    t = pool.join(l, r);  // round-trip keeps the version usable
+  }
+}

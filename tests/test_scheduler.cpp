@@ -1,0 +1,75 @@
+// Scheduler tests: fork-join correctness, nesting, sequential regions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cp = cordon::parallel;
+
+TEST(Scheduler, ParDoRunsBothSides) {
+  int a = 0, b = 0;
+  cp::par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, ParDoNested) {
+  std::atomic<int> count{0};
+  cp::par_do(
+      [&] {
+        cp::par_do([&] { count++; }, [&] { count++; });
+      },
+      [&] {
+        cp::par_do([&] { count++; }, [&] { count++; });
+      });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(Scheduler, DeepNesting) {
+  // Recursion 2^12 leaves: exercises deque depth and helping.
+  std::atomic<std::uint64_t> sum{0};
+  struct Rec {
+    static void go(std::atomic<std::uint64_t>& s, int depth) {
+      if (depth == 0) {
+        s.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      cp::par_do([&] { go(s, depth - 1); }, [&] { go(s, depth - 1); });
+    }
+  };
+  Rec::go(sum, 12);
+  EXPECT_EQ(sum.load(), 1u << 12);
+}
+
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  cp::parallel_for(0, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Scheduler, ParallelForEmptyAndTiny) {
+  int count = 0;
+  cp::parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  cp::parallel_for(7, 8, [&](std::size_t i) { count += static_cast<int>(i); });
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Scheduler, SequentialRegionForcesInline) {
+  cp::SequentialRegion seq;
+  // Inside a sequential region the same thread runs everything, so a
+  // non-atomic counter is safe.
+  std::size_t count = 0;
+  cp::parallel_for(0, 10000, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 10000u);
+}
+
+TEST(Scheduler, NumWorkersPositive) {
+  EXPECT_GE(cp::num_workers(), 1u);
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the test suite: seeded random inputs and the cost
+// families used across GLWS / GAP / Tree-GLWS tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/glws/glws.hpp"
+#include "src/parallel/random.hpp"
+
+namespace cordon::testing {
+
+inline std::vector<std::uint64_t> random_values(std::size_t n,
+                                                std::uint64_t seed,
+                                                std::uint64_t bound) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = parallel::uniform(seed, i, bound);
+  return v;
+}
+
+/// Sorted positions x[0..n] (x[0] = 0) with random gaps — the "villages"
+/// of the post-office family.
+inline std::shared_ptr<std::vector<double>> random_positions(
+    std::size_t n, std::uint64_t seed) {
+  auto x = std::make_shared<std::vector<double>>(n + 1, 0.0);
+  for (std::size_t i = 1; i <= n; ++i)
+    (*x)[i] = (*x)[i - 1] + 1.0 + parallel::uniform_double(seed, i) * 9.0;
+  return x;
+}
+
+/// Convex Monge family: quadratic in the span plus arbitrary separable
+/// row/column terms (separable terms cancel in the quadrangle
+/// inequality, so convexity is preserved while making the instance
+/// non-trivial).
+inline glws::CostFn random_convex_cost(std::size_t n, std::uint64_t seed,
+                                       double open_cost = 25.0) {
+  auto x = random_positions(n, seed);
+  auto rowterm = std::make_shared<std::vector<double>>(n + 1);
+  auto colterm = std::make_shared<std::vector<double>>(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    (*rowterm)[i] = parallel::uniform_double(seed ^ 0xabc, i) * 3.0;
+    (*colterm)[i] = parallel::uniform_double(seed ^ 0xdef, i) * 3.0;
+  }
+  return [x, rowterm, colterm, open_cost](std::size_t j, std::size_t i) {
+    double span = (*x)[i] - (*x)[j];
+    return open_cost + 0.05 * span * span + (*rowterm)[j] + (*colterm)[i];
+  };
+}
+
+/// Concave Monge family: sqrt of the span plus separable terms.
+inline glws::CostFn random_concave_cost(std::size_t n, std::uint64_t seed,
+                                        double open_cost = 3.0) {
+  auto x = random_positions(n, seed);
+  auto rowterm = std::make_shared<std::vector<double>>(n + 1);
+  auto colterm = std::make_shared<std::vector<double>>(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    (*rowterm)[i] = parallel::uniform_double(seed ^ 0x123, i) * 0.5;
+    (*colterm)[i] = parallel::uniform_double(seed ^ 0x456, i) * 0.5;
+  }
+  return [x, rowterm, colterm, open_cost](std::size_t j, std::size_t i) {
+    double span = (*x)[i] - (*x)[j];
+    double s = span < 0 ? 0.0 : span;
+    return open_cost + std::sqrt(s) + (*rowterm)[j] + (*colterm)[i];
+  };
+}
+
+/// A random parent array for a rooted tree: parent[v] uniform in [0, v).
+inline std::vector<std::uint32_t> random_tree_parents(std::size_t n,
+                                                      std::uint64_t seed) {
+  std::vector<std::uint32_t> parent(n, 0xffffffffu);
+  for (std::uint32_t v = 1; v < n; ++v)
+    parent[v] = static_cast<std::uint32_t>(parallel::uniform(seed, v, v));
+  return parent;
+}
+
+/// A path graph (worst depth), rooted at 0.
+inline std::vector<std::uint32_t> path_tree_parents(std::size_t n) {
+  std::vector<std::uint32_t> parent(n, 0xffffffffu);
+  for (std::uint32_t v = 1; v < n; ++v) parent[v] = v - 1;
+  return parent;
+}
+
+/// A caterpillar: a spine with one leaf per spine node.
+inline std::vector<std::uint32_t> caterpillar_parents(std::size_t n) {
+  std::vector<std::uint32_t> parent(n, 0xffffffffu);
+  for (std::uint32_t v = 1; v < n; ++v)
+    parent[v] = v % 2 == 0 ? v - 2 : v - 1;
+  if (n > 1) parent[1] = 0;
+  if (n > 2) parent[2] = 0;
+  return parent;
+}
+
+}  // namespace cordon::testing
