@@ -12,9 +12,13 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <type_traits>
 
 #include "src/core/dp_stats.hpp"
 #include "src/parallel/scheduler.hpp"
@@ -58,6 +62,89 @@ inline void print_header(const char* title, const char* columns) {
               cordon::parallel::num_workers());
   std::printf("%s\n", columns);
 }
+
+/// One field of a machine-readable benchmark record.  Values are
+/// pre-rendered as JSON so the emitter stays a dumb line writer.
+struct JsonField {
+  std::string key;
+  std::string value;
+
+  JsonField(std::string k, double v) : key(std::move(k)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    value = buf;
+  }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  JsonField(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  JsonField(std::string k, const char* v) : key(std::move(k)) {
+    value = quote(v);
+  }
+  JsonField(std::string k, const std::string& v) : key(std::move(k)) {
+    value = quote(v);
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259: control characters must be escaped.
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+};
+
+/// Appends JSON-lines benchmark records to the file named by the
+/// CORDON_BENCH_JSON environment variable (no-op when unset), so any
+/// bench binary can produce a machine-readable trajectory next to its
+/// human-readable stdout.  Every record carries the bench name and the
+/// worker-thread count.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : bench_(std::move(bench_name)) {
+    if (const char* path = std::getenv("CORDON_BENCH_JSON"))
+      out_.open(path, std::ios::app);
+  }
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  void record(std::initializer_list<JsonField> fields) {
+    if (!out_.is_open()) return;
+    out_ << "{\"bench\":" << JsonField::quote(bench_)
+         << ",\"threads\":" << cordon::parallel::num_workers();
+    for (const JsonField& f : fields)
+      out_ << ',' << JsonField::quote(f.key) << ':' << f.value;
+    out_ << "}\n";
+    out_.flush();
+  }
+
+  /// Convenience: a record of one timed series point plus its counters.
+  void record_point(const std::string& series, std::size_t n, double seconds,
+                    const core::DpStats& s) {
+    record({{"series", series},
+            {"n", n},
+            {"seconds", seconds},
+            {"states", s.states},
+            {"relaxations", s.relaxations},
+            {"rounds", s.rounds}});
+  }
+
+ private:
+  std::string bench_;
+  std::ofstream out_;
+};
 
 inline void print_stats_suffix(const core::DpStats& s) {
   std::printf("  states=%llu relax=%llu rounds=%llu",

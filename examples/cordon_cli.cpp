@@ -1,0 +1,214 @@
+// cordon_cli — the engine's front door.
+//
+//   cordon_cli list
+//       Registered problem families.
+//   cordon_cli gen <problem> [--n N] [--k K] [--seed S] [--out FILE]
+//       Deterministic random instance, serialized to FILE (default stdout).
+//   cordon_cli solve [--reference] [--check] FILE...
+//       Solve each instance file ("-" = stdin) with the optimized
+//       algorithm; --reference uses the naive oracle instead; --check
+//       runs both and compares objectives.
+//   cordon_cli batch [--sequential] [--reference] [--mix N [--n SIZE]
+//                    [--seed S]] FILE...
+//       Run a queue through the BatchExecutor (files plus, with --mix, N
+//       generated instances cycling over every registered family) and
+//       print per-request latency and aggregate throughput.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/engine/batch_executor.hpp"
+#include "src/engine/instance.hpp"
+#include "src/engine/registry.hpp"
+#include "src/parallel/scheduler.hpp"
+
+namespace {
+
+using namespace cordon;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cordon_cli list\n"
+               "       cordon_cli gen <problem> [--n N] [--k K] [--seed S] "
+               "[--out FILE]\n"
+               "       cordon_cli solve [--reference] [--check] FILE...\n"
+               "       cordon_cli batch [--sequential] [--reference] "
+               "[--mix N] [--n SIZE] [--seed S] [FILE...]\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  bool reference = false, check = false, sequential = false;
+  std::uint64_t n = 1000, k = 8, seed = 1, mix = 0;
+  std::string out;
+};
+
+bool parse_args(int argc, char** argv, int first, Args& a) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_u64 = [&](std::uint64_t& dst) {
+      if (i + 1 >= argc) return false;
+      dst = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (arg == "--reference")
+      a.reference = true;
+    else if (arg == "--check")
+      a.check = true;
+    else if (arg == "--sequential")
+      a.sequential = true;
+    else if (arg == "--n") {
+      if (!next_u64(a.n)) return false;
+    } else if (arg == "--k") {
+      if (!next_u64(a.k)) return false;
+    } else if (arg == "--seed") {
+      if (!next_u64(a.seed)) return false;
+    } else if (arg == "--mix") {
+      if (!next_u64(a.mix)) return false;
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return false;
+      a.out = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+engine::Instance load(const std::string& path) {
+  if (path == "-") return engine::parse_instance(std::cin);
+  return engine::load_instance(path);
+}
+
+void print_result(const std::string& label, const engine::SolveResult& r,
+                  double seconds) {
+  std::printf("%-24s objective=%-16.6f rounds=%-8llu %s  (%.3f ms)\n",
+              label.c_str(), r.objective,
+              static_cast<unsigned long long>(r.stats.rounds),
+              r.detail.c_str(), seconds * 1e3);
+}
+
+int cmd_list() {
+  const auto& reg = engine::builtin_registry();
+  std::printf("%zu registered problem families:\n", reg.size());
+  for (const auto& solver : reg.solvers())
+    std::printf("  %-10s %s\n", std::string(solver->key()).c_str(),
+                std::string(solver->description()).c_str());
+  return 0;
+}
+
+int cmd_gen(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const engine::Solver& solver =
+      engine::builtin_registry().at(a.positional[0]);
+  engine::Instance inst = solver.generate({a.n, a.k, a.seed});
+  if (a.out.empty())
+    engine::serialize_instance(inst, std::cout);
+  else
+    engine::save_instance(inst, a.out);
+  return 0;
+}
+
+int cmd_solve(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const auto& reg = engine::builtin_registry();
+  int rc = 0;
+  for (const std::string& path : a.positional) {
+    engine::Instance inst = load(path);
+    const engine::Solver& solver = reg.at(inst.kind);
+    auto t0 = std::chrono::steady_clock::now();
+    engine::SolveResult r =
+        a.reference ? solver.solve_reference(inst) : solver.solve(inst);
+    auto t1 = std::chrono::steady_clock::now();
+    print_result(path, r, std::chrono::duration<double>(t1 - t0).count());
+    if (a.check) {
+      // --check always compares optimized vs oracle, even under
+      // --reference (where r already holds the oracle result).
+      engine::SolveResult opt = a.reference ? solver.solve(inst) : r;
+      engine::SolveResult ref = a.reference ? r : solver.solve_reference(inst);
+      double diff = std::abs(opt.objective - ref.objective);
+      double tol = 1e-6 * std::max(1.0, std::abs(ref.objective));
+      if (diff <= tol) {
+        std::printf("%-24s   check OK (oracle objective=%.6f)\n",
+                    path.c_str(), ref.objective);
+      } else {
+        std::printf("%-24s   check FAILED: optimized=%.6f oracle=%.6f\n",
+                    path.c_str(), opt.objective, ref.objective);
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
+int cmd_batch(const Args& a) {
+  const auto& reg = engine::builtin_registry();
+  std::vector<engine::Instance> queue;
+  for (const std::string& path : a.positional) queue.push_back(load(path));
+  if (a.mix > 0) {
+    const auto& solvers = reg.solvers();
+    for (std::uint64_t i = 0; i < a.mix; ++i) {
+      const engine::Solver& s = *solvers[i % solvers.size()];
+      queue.push_back(s.generate({a.n, a.k, a.seed + i}));
+    }
+  }
+  if (queue.empty()) return usage();
+
+  engine::BatchExecutor exec(reg);
+  engine::BatchReport rep =
+      exec.run(queue, {.parallel = !a.sequential,
+                       .use_reference = a.reference});
+
+  for (std::size_t i = 0; i < rep.items.size(); ++i) {
+    const engine::BatchItem& item = rep.items[i];
+    if (item.ok)
+      print_result("[" + std::to_string(i) + "] " + item.kind, item.result,
+                   item.latency_s);
+    else
+      std::printf("[%zu] %-12s FAILED: %s\n", i, item.kind.c_str(),
+                  item.error.c_str());
+  }
+  std::printf(
+      "\nbatch: %zu request(s), %zu failed, wall=%.3f ms, "
+      "throughput=%.1f req/s (threads=%zu, %s)\n",
+      rep.items.size(), rep.failed, rep.wall_s * 1e3, rep.throughput_rps(),
+      parallel::num_workers(), a.sequential ? "sequential" : "parallel");
+  std::printf(
+      "       mean latency=%.3f ms, max latency=%.3f ms, max rounds=%llu, "
+      "max effective depth=%llu\n",
+      rep.stats.mean_latency_s() * 1e3, rep.stats.max_latency_s * 1e3,
+      static_cast<unsigned long long>(rep.stats.max_rounds),
+      static_cast<unsigned long long>(rep.stats.max_effective_depth));
+  std::printf("       total states=%llu relaxations=%llu rounds=%llu\n",
+              static_cast<unsigned long long>(rep.stats.total.states),
+              static_cast<unsigned long long>(rep.stats.total.relaxations),
+              static_cast<unsigned long long>(rep.stats.total.rounds));
+  return rep.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  Args a;
+  if (!parse_args(argc, argv, 2, a)) return usage();
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "gen") return cmd_gen(a);
+    if (cmd == "solve") return cmd_solve(a);
+    if (cmd == "batch") return cmd_batch(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cordon_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -19,6 +19,8 @@
 #include <concepts>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/core/dp_dag.hpp"
@@ -71,23 +73,12 @@ class ExplicitCordon {
       return minimize ? a < b : a > b;
     };
 
-    // Step 1: tentative values from the boundary; we reproduce the
-    // boundary by evaluating states with no incoming edges via the naive
-    // oracle (boundary conditions are part of the DAG).
+    // Step 1: tentative values are exactly the boundary conditions —
+    // including boundaries on states that also have incoming edges
+    // (evaluate() treats those as relaxation candidates too, so the
+    // cordon must start from the same values).
     std::vector<double> d(n, worst);
-    {
-      // Initial tentative values: run the boundary conditions only.
-      // DpDag stores boundaries internally; evaluate() applies them before
-      // any edge, so a zero-edge copy of the values is recovered by
-      // evaluating and masking non-boundary states.  To avoid widening the
-      // DpDag interface we recompute: a state with in-degree 0 keeps its
-      // evaluated value as the boundary value.
-      std::vector<double> all = dag_.evaluate();
-      std::vector<std::uint32_t> indeg(n, 0);
-      for (const auto& e : dag_.edges()) ++indeg[e.dst];
-      for (std::size_t i = 0; i < n; ++i)
-        if (indeg[i] == 0) d[i] = all[i];
-    }
+    for (auto& [state, value] : dag_.boundaries()) d[state] = value;
 
     std::vector<bool> finalized(n, false);
     Result res;
@@ -132,7 +123,26 @@ class ExplicitCordon {
         }
       }
       remaining -= frontier.size();
-      if (frontier.empty()) break;  // defensive: malformed DAG
+      if (frontier.empty()) {
+        // Every well-formed DAG (src < dst on all edges) has a ready
+        // state each round: the smallest unfinalized index can carry
+        // neither a sentinel nor inherited blocking.  An empty frontier
+        // therefore means the DAG violates an internal invariant;
+        // returning the partial `d` would silently corrupt results.
+        std::string msg = "ExplicitCordon: no ready state in round " +
+                          std::to_string(res.rounds) + "; " +
+                          std::to_string(remaining) +
+                          " state(s) stuck:";
+        int listed = 0;
+        for (std::uint32_t i = 0; i < n && listed < 8; ++i) {
+          if (!finalized[i]) {
+            msg += ' ' + std::to_string(i);
+            ++listed;
+          }
+        }
+        if (remaining > 8) msg += " ...";
+        throw std::runtime_error(msg);
+      }
     }
     res.values = std::move(d);
     return res;

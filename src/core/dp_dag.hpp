@@ -54,6 +54,10 @@ class DpDag {
   [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
     return edges_;
   }
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, double>>&
+  boundaries() const noexcept {
+    return boundary_;
+  }
 
   /// Naive topological evaluation of the recurrence: processes every edge.
   /// The oracle for all optimized algorithms.

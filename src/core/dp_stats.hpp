@@ -37,6 +37,44 @@ inline std::ostream& operator<<(std::ostream& os, const DpStats& s) {
             << ", rounds=" << s.rounds << "}";
 }
 
+/// Aggregate over a batch of independent solver requests (the engine's
+/// BatchExecutor feeds one `add` per request).  Sums are work-like
+/// quantities; maxima are span-like: `max_rounds` is the deepest request
+/// (the batch's critical path in phase-parallel rounds) and
+/// `max_effective_depth` the largest known effective depth d^(G) among
+/// requests that report one (0 when none do).
+struct BatchStats {
+  std::uint64_t requests = 0;
+  DpStats total;
+  std::uint64_t max_rounds = 0;
+  std::uint64_t max_effective_depth = 0;
+  double total_latency_s = 0;
+  double max_latency_s = 0;
+
+  void add(const DpStats& s, double latency_s,
+           std::uint64_t effective_depth = 0) {
+    ++requests;
+    total += s;
+    if (s.rounds > max_rounds) max_rounds = s.rounds;
+    if (effective_depth > max_effective_depth)
+      max_effective_depth = effective_depth;
+    total_latency_s += latency_s;
+    if (latency_s > max_latency_s) max_latency_s = latency_s;
+  }
+
+  [[nodiscard]] double mean_latency_s() const {
+    return requests == 0 ? 0.0 : total_latency_s / static_cast<double>(requests);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BatchStats& s) {
+  return os << "{requests=" << s.requests << ", total=" << s.total
+            << ", max_rounds=" << s.max_rounds
+            << ", max_effective_depth=" << s.max_effective_depth
+            << ", mean_latency_s=" << s.mean_latency_s()
+            << ", max_latency_s=" << s.max_latency_s << "}";
+}
+
 /// Thread-safe accumulator used inside parallel loops; convert to DpStats
 /// at the end of a run.
 struct AtomicDpStats {

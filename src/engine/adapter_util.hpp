@@ -1,0 +1,65 @@
+// Deterministic input generation shared by the solver adapters'
+// `generate` implementations.  Everything is a pure function of
+// (seed, index) via the splitmix64 streams in src/parallel/random.hpp,
+// so generated instances are reproducible across machines and runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/instance.hpp"
+#include "src/parallel/random.hpp"
+
+namespace cordon::engine::detail {
+
+inline std::vector<std::uint64_t> gen_values(std::uint64_t n,
+                                             std::uint64_t seed,
+                                             std::uint64_t bound) {
+  std::vector<std::uint64_t> v(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    v[i] = parallel::uniform(seed, i, bound);
+  return v;
+}
+
+inline std::vector<std::uint32_t> gen_symbols(std::uint64_t n,
+                                              std::uint64_t seed,
+                                              std::uint64_t alphabet) {
+  std::vector<std::uint32_t> v(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint32_t>(parallel::uniform(seed, i, alphabet));
+  return v;
+}
+
+inline std::vector<double> gen_weights(std::uint64_t n, std::uint64_t seed,
+                                       double lo, double hi) {
+  std::vector<double> v(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    v[i] = lo + parallel::uniform_double(seed, i) * (hi - lo);
+  return v;
+}
+
+/// Random parent array of a rooted tree: parent[v] uniform in [0, v).
+inline std::vector<std::uint32_t> gen_parents(std::uint64_t n,
+                                              std::uint64_t seed) {
+  std::vector<std::uint32_t> parent(n, 0xffffffffu);
+  for (std::uint64_t v = 1; v < n; ++v)
+    parent[v] = static_cast<std::uint32_t>(parallel::uniform(seed, v, v));
+  return parent;
+}
+
+/// Random serializable cost spec.  `convex_only` restricts to the
+/// families the convex-only solvers (kGLWS, Tree-GLWS, GAP's evaluation)
+/// accept.
+inline CostSpec gen_cost(std::uint64_t seed, bool convex_only) {
+  CostSpec c;
+  std::uint64_t pick = parallel::uniform(seed, 0, convex_only ? 2 : 3);
+  c.family = pick == 0   ? CostSpec::Family::kAffine
+             : pick == 1 ? CostSpec::Family::kQuadratic
+                         : CostSpec::Family::kLogarithmic;
+  c.open = 1.0 + parallel::uniform_double(seed, 1) * 24.0;
+  c.scale = 0.05 + parallel::uniform_double(seed, 2) * 2.0;
+  return c;
+}
+
+}  // namespace cordon::engine::detail

@@ -1,0 +1,66 @@
+#include "src/engine/batch_executor.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cordon::engine {
+
+namespace {
+
+BatchItem solve_one(const ProblemRegistry& reg, const Instance& inst,
+                    bool use_reference) {
+  BatchItem item;
+  item.kind = inst.kind;
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    const Solver& solver = reg.at(inst.kind);
+    item.result = use_reference ? solver.solve_reference(inst)
+                                : solver.solve(inst);
+    item.ok = true;
+  } catch (const std::exception& e) {
+    item.error = e.what();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  item.latency_s = std::chrono::duration<double>(t1 - t0).count();
+  return item;
+}
+
+}  // namespace
+
+BatchReport BatchExecutor::run(const std::vector<Instance>& queue,
+                               const BatchOptions& opt) const {
+  BatchReport report;
+  report.items.resize(queue.size());
+
+  auto t0 = std::chrono::steady_clock::now();
+  if (opt.parallel) {
+    // Instances are expensive bodies: granularity 1, no floor, so even a
+    // two-element queue forks.  Intra-instance parallelism nests below
+    // this loop on the same scheduler.
+    parallel::parallel_for(
+        0, queue.size(),
+        [&](std::size_t i) {
+          report.items[i] = solve_one(*registry_, queue[i], opt.use_reference);
+        },
+        /*granularity=*/1, /*granularity_floor=*/1);
+  } else {
+    for (std::size_t i = 0; i < queue.size(); ++i)
+      report.items[i] = solve_one(*registry_, queue[i], opt.use_reference);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  report.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  for (const BatchItem& item : report.items) {
+    if (!item.ok) {
+      ++report.failed;
+      continue;
+    }
+    report.stats.add(item.result.stats, item.latency_s,
+                     item.result.effective_depth);
+  }
+  return report;
+}
+
+}  // namespace cordon::engine

@@ -1,0 +1,62 @@
+// BatchExecutor: admits a queue of heterogeneous instances and
+// multiplexes them across the work-stealing scheduler.
+//
+// Inter-instance parallelism is a `parallel_for` with granularity 1 over
+// the queue (instances are expensive bodies, so the default granularity
+// floor must not apply); each instance's solver then uses the same
+// scheduler for its intra-instance parallelism — nested fork-join is
+// exactly what the helping scheduler is built for.  Per-request latency,
+// work/span counters, and known effective depths are aggregated into
+// core::BatchStats.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+#include "src/engine/registry.hpp"
+
+namespace cordon::engine {
+
+struct BatchOptions {
+  /// Run requests concurrently (false = one-at-a-time in queue order,
+  /// the baseline the batch throughput bench compares against).
+  bool parallel = true;
+  /// Solve with the naive reference oracle instead of the optimized
+  /// algorithm (cross-validation workloads).
+  bool use_reference = false;
+};
+
+struct BatchItem {
+  std::string kind;
+  bool ok = false;
+  std::string error;  // set when !ok (unknown kind, solver threw)
+  SolveResult result;
+  double latency_s = 0;
+};
+
+struct BatchReport {
+  std::vector<BatchItem> items;  // aligned with the submitted queue
+  core::BatchStats stats;        // aggregated over successful items only
+  double wall_s = 0;
+  std::size_t failed = 0;
+
+  [[nodiscard]] double throughput_rps() const {
+    return wall_s > 0 ? static_cast<double>(items.size()) / wall_s : 0.0;
+  }
+};
+
+class BatchExecutor {
+ public:
+  /// The registry must outlive the executor.
+  explicit BatchExecutor(const ProblemRegistry& reg = builtin_registry())
+      : registry_(&reg) {}
+
+  [[nodiscard]] BatchReport run(const std::vector<Instance>& queue,
+                                const BatchOptions& opt = {}) const;
+
+ private:
+  const ProblemRegistry* registry_;
+};
+
+}  // namespace cordon::engine

@@ -1,0 +1,397 @@
+#include "src/engine/instance.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace cordon::engine {
+
+// --- CostSpec ---------------------------------------------------------------
+
+glws::Shape CostSpec::shape() const {
+  return family == Family::kLogarithmic ? glws::Shape::kConcave
+                                        : glws::Shape::kConvex;
+}
+
+glws::CostFn CostSpec::make() const {
+  double o = open, s = scale;
+  switch (family) {
+    case Family::kAffine:
+      return [o, s](std::size_t l, std::size_t r) {
+        return o + s * static_cast<double>(r - l);
+      };
+    case Family::kQuadratic:
+      return [o, s](std::size_t l, std::size_t r) {
+        double len = static_cast<double>(r - l);
+        return o + s * len * len;
+      };
+    case Family::kLogarithmic:
+      return [o, s](std::size_t l, std::size_t r) {
+        return o + s * std::log1p(static_cast<double>(r - l));
+      };
+  }
+  throw std::logic_error("CostSpec: unknown family");
+}
+
+const char* CostSpec::family_name(Family f) {
+  switch (f) {
+    case Family::kAffine:
+      return "affine";
+    case Family::kQuadratic:
+      return "quadratic";
+    case Family::kLogarithmic:
+      return "logarithmic";
+  }
+  return "?";
+}
+
+CostSpec::Family CostSpec::family_from_name(const std::string& name) {
+  if (name == "affine") return Family::kAffine;
+  if (name == "quadratic") return Family::kQuadratic;
+  if (name == "logarithmic") return Family::kLogarithmic;
+  throw std::invalid_argument("unknown cost family '" + name + "'");
+}
+
+// --- DagInstance ------------------------------------------------------------
+
+core::DpDag DagInstance::build() const {
+  core::DpDag dag(n, objective);
+  for (auto& [state, value] : boundary) dag.set_boundary(state, value);
+  for (const Edge& e : edges) {
+    double w = e.weight;
+    dag.add_edge(
+        e.src, e.dst, [w](double x) { return x + w; }, e.effective);
+  }
+  return dag;
+}
+
+// --- serialization ----------------------------------------------------------
+
+namespace {
+
+constexpr const char* kMagic = "cordon-instance";
+constexpr const char* kVersion = "v1";
+
+void write_cost(std::ostream& out, const char* key, const CostSpec& c) {
+  out << key << ' ' << CostSpec::family_name(c.family) << ' ' << c.open << ' '
+      << c.scale << '\n';
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const char* key, const std::vector<T>& v) {
+  // Wrap long vectors: repeated keys append on parse.
+  constexpr std::size_t kPerLine = 64;
+  for (std::size_t i = 0; i < v.size(); i += kPerLine) {
+    out << key;
+    for (std::size_t j = i; j < v.size() && j < i + kPerLine; ++j)
+      out << ' ' << v[j];
+    out << '\n';
+  }
+  if (v.empty()) out << key << '\n';
+}
+
+// One "<key> tokens..." line with '#' comments stripped.
+struct Line {
+  std::string key;
+  std::istringstream rest;
+};
+
+bool next_line(std::istream& in, Line& out) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (auto pos = raw.find('#'); pos != std::string::npos) raw.resize(pos);
+    std::istringstream ss(raw);
+    std::string key;
+    if (!(ss >> key)) continue;  // blank / comment-only line
+    out.key = std::move(key);
+    std::string tail;
+    std::getline(ss, tail);
+    out.rest = std::istringstream(tail);
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+T parse_scalar(Line& line) {
+  T v{};
+  if (!(line.rest >> v))
+    throw std::runtime_error("instance parse: bad value for key '" + line.key +
+                             "'");
+  return v;
+}
+
+template <typename T>
+void parse_append(Line& line, std::vector<T>& out) {
+  T v{};
+  while (line.rest >> v) out.push_back(v);
+  if (!line.rest.eof())
+    throw std::runtime_error("instance parse: bad element in '" + line.key +
+                             "' list");
+}
+
+CostSpec parse_cost(Line& line) {
+  std::string family;
+  CostSpec c;
+  if (!(line.rest >> family >> c.open >> c.scale))
+    throw std::runtime_error(
+        "instance parse: cost spec needs '<family> <open> <scale>' after '" +
+        line.key + "'");
+  c.family = CostSpec::family_from_name(family);
+  return c;
+}
+
+[[noreturn]] void unknown_key(const std::string& kind, const std::string& key) {
+  throw std::runtime_error("instance parse: unknown key '" + key +
+                           "' for kind '" + kind + "'");
+}
+
+// Consumes lines until "end", feeding each to on_line.
+template <typename Fn>
+void read_body(std::istream& in, const std::string& kind, Fn&& on_line) {
+  Line line;
+  while (next_line(in, line)) {
+    if (line.key == "end") return;
+    on_line(line);
+  }
+  throw std::runtime_error("instance parse: missing 'end' for kind '" + kind +
+                           "'");
+}
+
+Payload parse_payload(std::istream& in, const std::string& kind) {
+  if (kind == "lis") {
+    LisInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "values")
+        parse_append(l, p.values);
+      else
+        unknown_key(kind, l.key);
+    });
+    return p;
+  }
+  if (kind == "lcs") {
+    LcsInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "a")
+        parse_append(l, p.a);
+      else if (l.key == "b")
+        parse_append(l, p.b);
+      else
+        unknown_key(kind, l.key);
+    });
+    return p;
+  }
+  if (kind == "glws") {
+    GlwsInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "n")
+        p.n = parse_scalar<std::uint64_t>(l);
+      else if (l.key == "d0")
+        p.d0 = parse_scalar<double>(l);
+      else if (l.key == "cost")
+        p.cost = parse_cost(l);
+      else
+        unknown_key(kind, l.key);
+    });
+    return p;
+  }
+  if (kind == "kglws") {
+    KglwsInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "n")
+        p.n = parse_scalar<std::uint64_t>(l);
+      else if (l.key == "k")
+        p.k = parse_scalar<std::uint64_t>(l);
+      else if (l.key == "cost")
+        p.cost = parse_cost(l);
+      else
+        unknown_key(kind, l.key);
+    });
+    return p;
+  }
+  if (kind == "gap") {
+    GapInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "a")
+        parse_append(l, p.a);
+      else if (l.key == "b")
+        parse_append(l, p.b);
+      else if (l.key == "w1")
+        p.w1 = parse_cost(l);
+      else if (l.key == "w2")
+        p.w2 = parse_cost(l);
+      else
+        unknown_key(kind, l.key);
+    });
+    return p;
+  }
+  if (kind == "oat" || kind == "obst") {
+    std::vector<double> weights;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "weights")
+        parse_append(l, weights);
+      else
+        unknown_key(kind, l.key);
+    });
+    if (kind == "oat") return OatInstance{std::move(weights)};
+    return ObstInstance{std::move(weights)};
+  }
+  if (kind == "treeglws") {
+    TreeGlwsInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "parent")
+        parse_append(l, p.parent);
+      else if (l.key == "d0")
+        p.d0 = parse_scalar<double>(l);
+      else if (l.key == "cost")
+        p.cost = parse_cost(l);
+      else
+        unknown_key(kind, l.key);
+    });
+    return p;
+  }
+  if (kind == "dag") {
+    DagInstance p;
+    read_body(in, kind, [&](Line& l) {
+      if (l.key == "states") {
+        p.n = parse_scalar<std::uint64_t>(l);
+      } else if (l.key == "objective") {
+        auto word = parse_scalar<std::string>(l);
+        if (word == "min")
+          p.objective = core::Objective::kMin;
+        else if (word == "max")
+          p.objective = core::Objective::kMax;
+        else
+          throw std::runtime_error(
+              "instance parse: objective must be 'min' or 'max', got '" + word +
+              "'");
+      } else if (l.key == "boundary") {
+        std::uint32_t state;
+        double value;
+        if (!(l.rest >> state >> value))
+          throw std::runtime_error(
+              "instance parse: boundary needs '<state> <value>'");
+        p.boundary.emplace_back(state, value);
+      } else if (l.key == "edge") {
+        DagInstance::Edge e;
+        int effective = 1;
+        if (!(l.rest >> e.src >> e.dst >> e.weight))
+          throw std::runtime_error(
+              "instance parse: edge needs '<src> <dst> <weight> [effective]'");
+        if (l.rest >> effective)
+          e.effective = effective != 0;
+        else if (!l.rest.eof())
+          throw std::runtime_error(
+              "instance parse: edge effective flag must be 0 or 1");
+        p.edges.push_back(e);
+      } else {
+        unknown_key(kind, l.key);
+      }
+    });
+    return p;
+  }
+  throw std::runtime_error("instance parse: unknown kind '" + kind + "'");
+}
+
+struct SerializeVisitor {
+  std::ostream& out;
+
+  void operator()(const LisInstance& p) const {
+    write_vec(out, "values", p.values);
+  }
+  void operator()(const LcsInstance& p) const {
+    write_vec(out, "a", p.a);
+    write_vec(out, "b", p.b);
+  }
+  void operator()(const GlwsInstance& p) const {
+    out << "n " << p.n << '\n' << "d0 " << p.d0 << '\n';
+    write_cost(out, "cost", p.cost);
+  }
+  void operator()(const KglwsInstance& p) const {
+    out << "n " << p.n << '\n' << "k " << p.k << '\n';
+    write_cost(out, "cost", p.cost);
+  }
+  void operator()(const GapInstance& p) const {
+    write_vec(out, "a", p.a);
+    write_vec(out, "b", p.b);
+    write_cost(out, "w1", p.w1);
+    write_cost(out, "w2", p.w2);
+  }
+  void operator()(const OatInstance& p) const {
+    write_vec(out, "weights", p.weights);
+  }
+  void operator()(const ObstInstance& p) const {
+    write_vec(out, "weights", p.weights);
+  }
+  void operator()(const TreeGlwsInstance& p) const {
+    write_vec(out, "parent", p.parent);
+    out << "d0 " << p.d0 << '\n';
+    write_cost(out, "cost", p.cost);
+  }
+  void operator()(const DagInstance& p) const {
+    out << "states " << p.n << '\n'
+        << "objective " << (p.objective == core::Objective::kMin ? "min" : "max")
+        << '\n';
+    for (auto& [state, value] : p.boundary)
+      out << "boundary " << state << ' ' << value << '\n';
+    for (const DagInstance::Edge& e : p.edges)
+      out << "edge " << e.src << ' ' << e.dst << ' ' << e.weight << ' '
+          << (e.effective ? 1 : 0) << '\n';
+  }
+};
+
+}  // namespace
+
+void serialize_instance(const Instance& inst, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << ' ' << inst.kind << '\n';
+  out.precision(17);  // doubles must survive the round-trip
+  std::visit(SerializeVisitor{out}, inst.payload);
+  out << "end\n";
+}
+
+Instance parse_instance(std::istream& in) {
+  Line header;
+  if (!next_line(in, header) || header.key != kMagic)
+    throw std::runtime_error("instance parse: missing '" + std::string(kMagic) +
+                             "' header");
+  std::string version, kind;
+  if (!(header.rest >> version >> kind) || version != kVersion)
+    throw std::runtime_error(
+        "instance parse: header must be 'cordon-instance v1 <kind>'");
+  Instance inst;
+  inst.kind = kind;
+  inst.payload = parse_payload(in, kind);
+  return inst;
+}
+
+std::string to_string(const Instance& inst) {
+  std::ostringstream out;
+  serialize_instance(inst, out);
+  return out.str();
+}
+
+Instance from_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_instance(in);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open instance file '" + path + "'");
+  try {
+    return parse_instance(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void save_instance(const Instance& inst, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("cannot write instance file '" + path + "'");
+  serialize_instance(inst, out);
+}
+
+}  // namespace cordon::engine

@@ -1,0 +1,148 @@
+// Instance model of the unified solver engine.
+//
+// A workload is data, not a hand-written main(): every problem kind the
+// library solves has a serializable instance struct, a tagged union
+// `Instance` carries one of them together with its registry key, and a
+// line-oriented text format round-trips instances through files so the
+// CLI, the batch executor, tests, and benchmarks all speak one language.
+//
+// Cost functions cannot be serialized as arbitrary code, so instances
+// reference a closed set of named cost families (`CostSpec`): affine and
+// quadratic (convex Monge) and logarithmic (concave Monge) costs in the
+// transition span, the same families the paper's evaluation uses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/core/dp_dag.hpp"
+#include "src/glws/glws.hpp"  // CostFn, Shape
+
+namespace cordon::engine {
+
+/// A named, serializable cost family w(j, i) on the span i - j (plus a
+/// fixed opening charge).  `shape()` reports the Monge regime solvers
+/// must be told about.
+struct CostSpec {
+  enum class Family { kAffine, kQuadratic, kLogarithmic };
+
+  Family family = Family::kAffine;
+  double open = 1.0;   // charged per transition
+  double scale = 1.0;  // multiplies the span term
+
+  [[nodiscard]] glws::Shape shape() const;
+  [[nodiscard]] glws::CostFn make() const;
+
+  [[nodiscard]] static const char* family_name(Family f);
+  [[nodiscard]] static Family family_from_name(const std::string& name);
+
+  friend bool operator==(const CostSpec&, const CostSpec&) = default;
+};
+
+// --- one struct per registered problem kind --------------------------------
+
+struct LisInstance {
+  std::vector<std::uint64_t> values;
+};
+
+struct LcsInstance {
+  std::vector<std::uint32_t> a, b;
+};
+
+struct GlwsInstance {
+  std::uint64_t n = 0;  // states 0..n, D[0] = d0
+  double d0 = 0;
+  CostSpec cost;
+};
+
+struct KglwsInstance {
+  std::uint64_t n = 0;
+  std::uint64_t k = 1;  // exactly k clusters
+  CostSpec cost;        // must be convex (affine or quadratic)
+};
+
+struct GapInstance {
+  std::vector<std::uint32_t> a, b;
+  CostSpec w1, w2;  // gap costs in A / in B; shapes must match
+};
+
+struct OatInstance {
+  std::vector<double> weights;
+};
+
+struct ObstInstance {
+  std::vector<double> weights;
+};
+
+struct TreeGlwsInstance {
+  std::vector<std::uint32_t> parent;  // parent[root] == 0xffffffff
+  double d0 = 0;
+  CostSpec cost;  // convex (the parallel algorithm's requirement)
+};
+
+/// An explicit DP DAG with affine transitions f(x) = x + weight — the
+/// serializable subset of DpDag, solved by the ExplicitCordon reference.
+struct DagInstance {
+  struct Edge {
+    std::uint32_t src = 0, dst = 0;
+    double weight = 0;
+    bool effective = true;
+  };
+
+  std::uint64_t n = 0;
+  core::Objective objective = core::Objective::kMin;
+  std::vector<std::pair<std::uint32_t, double>> boundary;
+  std::vector<Edge> edges;
+
+  [[nodiscard]] core::DpDag build() const;
+};
+
+using Payload =
+    std::variant<LisInstance, LcsInstance, GlwsInstance, KglwsInstance,
+                 GapInstance, OatInstance, ObstInstance, TreeGlwsInstance,
+                 DagInstance>;
+
+/// A problem instance: the registry key of the solver that understands it
+/// plus the kind-specific payload.
+struct Instance {
+  std::string kind;
+  Payload payload;
+
+  /// Typed access; throws if the payload does not match the expectation
+  /// (e.g. a hand-edited file with a wrong header).
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    const T* p = std::get_if<T>(&payload);
+    if (p == nullptr)
+      throw std::invalid_argument("instance payload does not match kind '" +
+                                  kind + "'");
+    return *p;
+  }
+};
+
+// --- text round-trip --------------------------------------------------------
+//
+// Format (whitespace-separated, '#' starts a comment):
+//   cordon-instance v1 <kind>
+//   <key> <values...>          # scalars: "n 1000"; vectors: rest of line,
+//   ...                        # repeated keys append (long vectors wrap)
+//   end
+// Cost specs serialize as "<key> <family> <open> <scale>".
+
+void serialize_instance(const Instance& inst, std::ostream& out);
+[[nodiscard]] Instance parse_instance(std::istream& in);
+
+[[nodiscard]] std::string to_string(const Instance& inst);
+[[nodiscard]] Instance from_string(const std::string& text);
+
+/// Reads one instance from a file; throws std::runtime_error with the
+/// path on open/parse failure.
+[[nodiscard]] Instance load_instance(const std::string& path);
+void save_instance(const Instance& inst, const std::string& path);
+
+}  // namespace cordon::engine

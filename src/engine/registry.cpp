@@ -1,0 +1,54 @@
+#include "src/engine/registry.hpp"
+
+#include <stdexcept>
+
+namespace cordon::engine {
+
+void ProblemRegistry::add(std::unique_ptr<Solver> solver) {
+  if (solver == nullptr)
+    throw std::invalid_argument("ProblemRegistry: null solver");
+  if (find(solver->key()) != nullptr)
+    throw std::invalid_argument("ProblemRegistry: duplicate key '" +
+                                std::string(solver->key()) + "'");
+  solvers_.push_back(std::move(solver));
+}
+
+const Solver* ProblemRegistry::find(std::string_view key) const noexcept {
+  for (const auto& s : solvers_)
+    if (s->key() == key) return s.get();
+  return nullptr;
+}
+
+const Solver& ProblemRegistry::at(std::string_view key) const {
+  const Solver* s = find(key);
+  if (s == nullptr)
+    throw std::out_of_range("no solver registered for problem '" +
+                            std::string(key) + "'");
+  return *s;
+}
+
+std::vector<std::string_view> ProblemRegistry::keys() const {
+  std::vector<std::string_view> out;
+  out.reserve(solvers_.size());
+  for (const auto& s : solvers_) out.push_back(s->key());
+  return out;
+}
+
+const ProblemRegistry& builtin_registry() {
+  static ProblemRegistry* reg = [] {
+    auto* r = new ProblemRegistry;
+    register_glws(*r);
+    register_kglws(*r);
+    register_lis(*r);
+    register_lcs(*r);
+    register_gap(*r);
+    register_oat(*r);
+    register_obst(*r);
+    register_treeglws(*r);
+    register_dag(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace cordon::engine

@@ -1,0 +1,53 @@
+// ProblemRegistry: string key -> Solver adapter.
+//
+// Registration is explicit (no static-initializer magic — self-registering
+// translation units silently vanish when archived into static libraries):
+// each algorithm module implements `register_<family>(ProblemRegistry&)`
+// next to its adapter, and `builtin_registry()` assembles all of them
+// once.  Tests can also build small custom registries.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/engine/solver.hpp"
+
+namespace cordon::engine {
+
+class ProblemRegistry {
+ public:
+  /// Takes ownership; throws std::invalid_argument on a duplicate key.
+  void add(std::unique_ptr<Solver> solver);
+
+  [[nodiscard]] const Solver* find(std::string_view key) const noexcept;
+  /// Like find, but throws std::out_of_range naming the key.
+  [[nodiscard]] const Solver& at(std::string_view key) const;
+
+  [[nodiscard]] std::vector<std::string_view> keys() const;
+  [[nodiscard]] std::size_t size() const noexcept { return solvers_.size(); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Solver>>& solvers() const {
+    return solvers_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Solver>> solvers_;  // small N: linear scan
+};
+
+// One registration hook per algorithm module (defined in
+// src/<family>/<family>_adapter.cpp; register_dag in src/engine).
+void register_glws(ProblemRegistry& reg);
+void register_kglws(ProblemRegistry& reg);
+void register_lis(ProblemRegistry& reg);
+void register_lcs(ProblemRegistry& reg);
+void register_gap(ProblemRegistry& reg);
+void register_oat(ProblemRegistry& reg);
+void register_obst(ProblemRegistry& reg);
+void register_treeglws(ProblemRegistry& reg);
+void register_dag(ProblemRegistry& reg);
+
+/// The registry holding every built-in family; constructed on first use.
+[[nodiscard]] const ProblemRegistry& builtin_registry();
+
+}  // namespace cordon::engine

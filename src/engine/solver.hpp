@@ -1,0 +1,61 @@
+// Type-erased solver interface of the unified engine.
+//
+// Every algorithm family adapts itself to this interface (one adapter
+// per module, registered in a ProblemRegistry under a stable string
+// key), so callers — the CLI, the batch executor, tests, benches — can
+// treat "solve an instance" as data-driven dispatch instead of linking
+// against nine bespoke APIs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/dp_stats.hpp"
+#include "src/engine/instance.hpp"
+
+namespace cordon::engine {
+
+/// Knobs for `Solver::generate`; interpretation is per-problem (`n` is
+/// the dominant size, `k` the layer/cluster count where one exists) but
+/// every generator is deterministic in `seed`.
+struct GenOptions {
+  std::uint64_t n = 1000;
+  std::uint64_t k = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one solve.  `objective` is the problem's headline scalar
+/// (minimum total cost, maximum subsequence length, ...); `stats` are the
+/// machine-independent work/span counters; `effective_depth` is the
+/// known effective depth d^(G) of the instance's DP DAG when the solver
+/// can certify one (0 = unknown).  For perfect parallelizations
+/// (Thm 3.1/3.2, kGLWS) rounds == effective depth, and the dag solver
+/// computes it exactly.
+struct SolveResult {
+  double objective = 0;
+  core::DpStats stats;
+  std::uint64_t effective_depth = 0;
+  std::string detail;  // one human-readable line, e.g. "lis length=41 of n=100"
+};
+
+/// A registered problem family.  `solve` runs the optimized (cordon /
+/// parallel) algorithm; `solve_reference` runs the naive oracle the
+/// paper's correctness claims are checked against — tests cross-validate
+/// the two on random instances, and the CLI exposes both.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  [[nodiscard]] virtual std::string_view key() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+
+  [[nodiscard]] virtual SolveResult solve(const Instance& inst) const = 0;
+  [[nodiscard]] virtual SolveResult solve_reference(
+      const Instance& inst) const = 0;
+
+  /// Deterministic random instance of this problem kind.
+  [[nodiscard]] virtual Instance generate(const GenOptions& opt) const = 0;
+};
+
+}  // namespace cordon::engine

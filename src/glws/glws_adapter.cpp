@@ -1,0 +1,58 @@
+// Engine adapter: GLWS (Sec. 4) as a registry problem.
+#include <memory>
+
+#include "src/engine/adapter_util.hpp"
+#include "src/engine/registry.hpp"
+#include "src/glws/glws.hpp"
+
+namespace cordon::engine {
+namespace {
+
+class GlwsSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view key() const override { return "glws"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "generalized least-weight subsequence, convex or concave costs "
+           "(Sec. 4)";
+  }
+
+  [[nodiscard]] SolveResult solve(const Instance& inst) const override {
+    const auto& p = inst.as<GlwsInstance>();
+    auto r = glws::glws_parallel(p.n, p.d0, p.cost.make(), glws::identity_e(),
+                                 p.cost.shape());
+    return pack(p, r);
+  }
+
+  [[nodiscard]] SolveResult solve_reference(
+      const Instance& inst) const override {
+    const auto& p = inst.as<GlwsInstance>();
+    auto r = glws::glws_naive(p.n, p.d0, p.cost.make(), glws::identity_e());
+    return pack(p, r);
+  }
+
+  [[nodiscard]] Instance generate(const GenOptions& opt) const override {
+    GlwsInstance p;
+    p.n = opt.n;
+    p.d0 = 0;
+    p.cost = detail::gen_cost(opt.seed, /*convex_only=*/false);
+    return {"glws", p};
+  }
+
+ private:
+  static SolveResult pack(const GlwsInstance& p, const glws::GlwsResult& r) {
+    SolveResult out;
+    out.objective = r.d.empty() ? p.d0 : r.d.back();
+    out.stats = r.stats;
+    out.detail = "glws n=" + std::to_string(p.n) +
+                 " D[n]=" + std::to_string(out.objective);
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_glws(ProblemRegistry& reg) {
+  reg.add(std::make_unique<GlwsSolver>());
+}
+
+}  // namespace cordon::engine

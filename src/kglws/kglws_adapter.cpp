@@ -1,0 +1,71 @@
+// Engine adapter: k-GLWS / 1-D k-clustering (Sec. 5.4).
+#include <memory>
+#include <stdexcept>
+
+#include "src/engine/adapter_util.hpp"
+#include "src/engine/registry.hpp"
+#include "src/kglws/kglws.hpp"
+
+namespace cordon::engine {
+namespace {
+
+class KglwsSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view key() const override { return "kglws"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "k-layer GLWS (exactly k clusters), convex costs (Sec. 5.4)";
+  }
+
+  [[nodiscard]] SolveResult solve(const Instance& inst) const override {
+    const auto& p = validate(inst);
+    auto r = kglws::kglws_dc(p.n, p.k, p.cost.make());
+    SolveResult out = pack(p, r.total, r.stats);
+    // Layer k' is exactly the k'-th cordon frontier: rounds == depth.
+    out.effective_depth = out.stats.rounds;
+    return out;
+  }
+
+  [[nodiscard]] SolveResult solve_reference(
+      const Instance& inst) const override {
+    const auto& p = validate(inst);
+    auto r = kglws::kglws_naive(p.n, p.k, p.cost.make());
+    return pack(p, r.total, r.stats);
+  }
+
+  [[nodiscard]] Instance generate(const GenOptions& opt) const override {
+    KglwsInstance p;
+    p.n = opt.n;
+    p.k = std::min<std::uint64_t>(std::max<std::uint64_t>(opt.k, 1), opt.n);
+    p.cost = detail::gen_cost(opt.seed, /*convex_only=*/true);
+    return {"kglws", p};
+  }
+
+ private:
+  static const KglwsInstance& validate(const Instance& inst) {
+    const auto& p = inst.as<KglwsInstance>();
+    if (p.cost.shape() != glws::Shape::kConvex)
+      throw std::invalid_argument("kglws requires a convex cost family");
+    if (p.k == 0 || p.k > p.n)
+      throw std::invalid_argument("kglws requires 1 <= k <= n");
+    return p;
+  }
+
+  static SolveResult pack(const KglwsInstance& p, double total,
+                          const core::DpStats& stats) {
+    SolveResult out;
+    out.objective = total;
+    out.stats = stats;
+    out.detail = "kglws n=" + std::to_string(p.n) +
+                 " k=" + std::to_string(p.k) +
+                 " cost=" + std::to_string(total);
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_kglws(ProblemRegistry& reg) {
+  reg.add(std::make_unique<KglwsSolver>());
+}
+
+}  // namespace cordon::engine

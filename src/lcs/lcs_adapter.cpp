@@ -1,0 +1,65 @@
+// Engine adapter: sparse longest common subsequence (Sec. 3, Thm 3.2).
+#include <memory>
+
+#include "src/engine/adapter_util.hpp"
+#include "src/engine/registry.hpp"
+#include "src/lcs/lcs.hpp"
+
+namespace cordon::engine {
+namespace {
+
+class LcsSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view key() const override { return "lcs"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "sparse longest common subsequence over match pairs (Sec. 3, "
+           "Thm 3.2)";
+  }
+
+  [[nodiscard]] SolveResult solve(const Instance& inst) const override {
+    const auto& p = inst.as<LcsInstance>();
+    auto pairs = lcs::match_pairs(p.a, p.b);
+    auto r = lcs::lcs_parallel(pairs);
+    SolveResult out = pack(p, pairs.size(), r);
+    out.effective_depth = out.stats.rounds;  // rounds == LCS length (Thm 3.2)
+    return out;
+  }
+
+  [[nodiscard]] SolveResult solve_reference(
+      const Instance& inst) const override {
+    const auto& p = inst.as<LcsInstance>();
+    auto r = lcs::lcs_naive(p.a, p.b);
+    return pack(p, 0, r);
+  }
+
+  [[nodiscard]] Instance generate(const GenOptions& opt) const override {
+    // Alphabet ~n/2 keeps the expected number of match pairs near-linear
+    // (the sparse regime the algorithm targets).
+    std::uint64_t alphabet = std::max<std::uint64_t>(2, opt.n / 2);
+    LcsInstance p;
+    p.a = detail::gen_symbols(opt.n, opt.seed, alphabet);
+    p.b = detail::gen_symbols(opt.n, opt.seed ^ 0x9e3779b9u, alphabet);
+    return {"lcs", p};
+  }
+
+ private:
+  static SolveResult pack(const LcsInstance& p, std::size_t num_pairs,
+                          const lcs::LcsResult& r) {
+    SolveResult out;
+    out.objective = static_cast<double>(r.length);
+    out.stats = r.stats;
+    out.detail = "lcs |a|=" + std::to_string(p.a.size()) +
+                 " |b|=" + std::to_string(p.b.size()) +
+                 (num_pairs > 0 ? " L=" + std::to_string(num_pairs) : "") +
+                 " length=" + std::to_string(r.length);
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_lcs(ProblemRegistry& reg) {
+  reg.add(std::make_unique<LcsSolver>());
+}
+
+}  // namespace cordon::engine

@@ -1,0 +1,58 @@
+// Engine adapter: longest increasing subsequence (Sec. 3, Thm 3.1).
+#include <memory>
+
+#include "src/engine/adapter_util.hpp"
+#include "src/engine/registry.hpp"
+#include "src/lis/lis.hpp"
+
+namespace cordon::engine {
+namespace {
+
+class LisSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view key() const override { return "lis"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "longest increasing subsequence (Sec. 3, Thm 3.1)";
+  }
+
+  [[nodiscard]] SolveResult solve(const Instance& inst) const override {
+    const auto& p = inst.as<LisInstance>();
+    auto r = lis::lis_parallel(p.values);
+    SolveResult out = pack(p, r);
+    // Thm 3.1: round r finalizes exactly the states with D = r, so the
+    // observed rounds equal the DAG's (perfect) effective depth.
+    out.effective_depth = out.stats.rounds;
+    return out;
+  }
+
+  [[nodiscard]] SolveResult solve_reference(
+      const Instance& inst) const override {
+    const auto& p = inst.as<LisInstance>();
+    auto r = lis::lis_naive(p.values);
+    return pack(p, r);
+  }
+
+  [[nodiscard]] Instance generate(const GenOptions& opt) const override {
+    // Value range ~n/2 gives a duplicate-rich but nontrivial LIS.
+    std::uint64_t bound = std::max<std::uint64_t>(2, opt.n / 2);
+    return {"lis", LisInstance{detail::gen_values(opt.n, opt.seed, bound)}};
+  }
+
+ private:
+  static SolveResult pack(const LisInstance& p, const lis::LisResult& r) {
+    SolveResult out;
+    out.objective = static_cast<double>(r.length);
+    out.stats = r.stats;
+    out.detail = "lis n=" + std::to_string(p.values.size()) +
+                 " length=" + std::to_string(r.length);
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_lis(ProblemRegistry& reg) {
+  reg.add(std::make_unique<LisSolver>());
+}
+
+}  // namespace cordon::engine

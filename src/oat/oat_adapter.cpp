@@ -1,0 +1,54 @@
+// Engine adapter: optimal alphabetic tree (Sec. 5.1, Thm 5.1).
+#include <memory>
+
+#include "src/engine/adapter_util.hpp"
+#include "src/engine/registry.hpp"
+#include "src/oat/oat.hpp"
+
+namespace cordon::engine {
+namespace {
+
+class OatSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view key() const override { return "oat"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "optimal alphabetic tree via phase-parallel Garsia-Wachs "
+           "(Sec. 5.1)";
+  }
+
+  [[nodiscard]] SolveResult solve(const Instance& inst) const override {
+    const auto& p = inst.as<OatInstance>();
+    auto r = oat::oat_parallel(p.weights);
+    SolveResult out;
+    out.objective = r.cost;
+    out.stats = r.stats;
+    out.detail = "oat n=" + std::to_string(p.weights.size()) +
+                 " cost=" + std::to_string(r.cost) +
+                 " height=" + std::to_string(r.height);
+    return out;
+  }
+
+  [[nodiscard]] SolveResult solve_reference(
+      const Instance& inst) const override {
+    const auto& p = inst.as<OatInstance>();
+    SolveResult out;
+    out.objective = oat::oat_dp_cost(p.weights);
+    out.detail = "oat n=" + std::to_string(p.weights.size()) +
+                 " cost=" + std::to_string(out.objective) +
+                 " (interval-DP oracle)";
+    return out;
+  }
+
+  [[nodiscard]] Instance generate(const GenOptions& opt) const override {
+    return {"oat",
+            OatInstance{detail::gen_weights(opt.n, opt.seed, 1.0, 100.0)}};
+  }
+};
+
+}  // namespace
+
+void register_oat(ProblemRegistry& reg) {
+  reg.add(std::make_unique<OatSolver>());
+}
+
+}  // namespace cordon::engine

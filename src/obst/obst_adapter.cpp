@@ -1,0 +1,52 @@
+// Engine adapter: optimal binary search tree (Sec. 5.5).
+#include <memory>
+
+#include "src/engine/adapter_util.hpp"
+#include "src/engine/registry.hpp"
+#include "src/obst/obst.hpp"
+
+namespace cordon::engine {
+namespace {
+
+class ObstSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view key() const override { return "obst"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "optimal binary search tree, Knuth ranges by diagonal "
+           "(Sec. 5.5)";
+  }
+
+  [[nodiscard]] SolveResult solve(const Instance& inst) const override {
+    const auto& p = inst.as<ObstInstance>();
+    return pack(p, obst::obst_parallel(p.weights));
+  }
+
+  [[nodiscard]] SolveResult solve_reference(
+      const Instance& inst) const override {
+    const auto& p = inst.as<ObstInstance>();
+    return pack(p, obst::obst_naive(p.weights));
+  }
+
+  [[nodiscard]] Instance generate(const GenOptions& opt) const override {
+    return {"obst",
+            ObstInstance{detail::gen_weights(opt.n, opt.seed, 1.0, 50.0)}};
+  }
+
+ private:
+  static SolveResult pack(const ObstInstance& p, const obst::ObstResult& r) {
+    SolveResult out;
+    out.objective = r.cost;
+    out.stats = r.stats;
+    out.detail = "obst n=" + std::to_string(p.weights.size()) +
+                 " cost=" + std::to_string(r.cost);
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_obst(ProblemRegistry& reg) {
+  reg.add(std::make_unique<ObstSolver>());
+}
+
+}  // namespace cordon::engine

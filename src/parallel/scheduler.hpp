@@ -114,19 +114,29 @@ void parallel_for_rec(std::size_t lo, std::size_t hi, std::size_t gran,
 
 }  // namespace detail
 
+/// Default floor applied by the auto-granularity heuristic: chunks never
+/// shrink below this many iterations, which amortizes fork overhead when
+/// loop bodies are cheap (the common case for data-parallel inner loops).
+inline constexpr std::size_t kDefaultGranularityFloor = 64;
+
 /// Applies f(i) for i in [lo, hi) in parallel.  `granularity` is the
 /// largest chunk executed sequentially; 0 picks a size that exposes
 /// ~8 chunks per worker (enough slack for stealing without drowning in
-/// fork overhead).
+/// fork overhead), clamped up to `granularity_floor`.  Loops with few
+/// iterations but *expensive* bodies (e.g. dispatching whole DP
+/// instances) must lower the floor — with the default, any n <= 64 runs
+/// entirely sequentially.
 template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, const F& f,
-                  std::size_t granularity = 0) {
+                  std::size_t granularity = 0,
+                  std::size_t granularity_floor = kDefaultGranularityFloor) {
   if (hi <= lo) return;
   std::size_t n = hi - lo;
   if (granularity == 0) {
     std::size_t chunks = 8 * num_workers();
     granularity = n / chunks + 1;
-    if (granularity < 64 && n > 64) granularity = 64;
+    if (granularity < granularity_floor && n > granularity_floor)
+      granularity = granularity_floor;
   }
   if (n <= granularity || detail::in_sequential_region()) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
