@@ -13,18 +13,29 @@
 //       Run a queue through the BatchExecutor (files plus, with --mix, N
 //       generated instances cycling over every registered family) and
 //       print per-request latency and aggregate throughput.
+//   cordon_cli stress [--clients C] [--requests R] [--distinct D]
+//                     [--n SIZE] [--seed S] [--window-us W] [--batch B]
+//                     [--cache CAP] [--reference]
+//       Drive a CordonService with C client threads, each submitting R
+//       asynchronous requests drawn from a pool of D distinct generated
+//       instances; every result is checked against a precomputed
+//       expected objective, and throughput / cache hit rate / queue
+//       waits are printed.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/batch_executor.hpp"
 #include "src/engine/instance.hpp"
 #include "src/engine/registry.hpp"
 #include "src/parallel/scheduler.hpp"
+#include "src/service/service.hpp"
 
 namespace {
 
@@ -37,7 +48,11 @@ int usage() {
                "[--out FILE]\n"
                "       cordon_cli solve [--reference] [--check] FILE...\n"
                "       cordon_cli batch [--sequential] [--reference] "
-               "[--mix N] [--n SIZE] [--seed S] [FILE...]\n");
+               "[--mix N] [--n SIZE] [--seed S] [FILE...]\n"
+               "       cordon_cli stress [--clients C] [--requests R] "
+               "[--distinct D] [--n SIZE]\n"
+               "                  [--seed S] [--window-us W] [--batch B] "
+               "[--cache CAP] [--reference]\n");
   return 2;
 }
 
@@ -45,6 +60,8 @@ struct Args {
   std::vector<std::string> positional;
   bool reference = false, check = false, sequential = false;
   std::uint64_t n = 1000, k = 8, seed = 1, mix = 0;
+  std::uint64_t clients = 4, requests = 256, distinct = 8;
+  std::uint64_t window_us = 500, batch = 64, cache = 4096;
   std::string out;
 };
 
@@ -70,6 +87,18 @@ bool parse_args(int argc, char** argv, int first, Args& a) {
       if (!next_u64(a.seed)) return false;
     } else if (arg == "--mix") {
       if (!next_u64(a.mix)) return false;
+    } else if (arg == "--clients") {
+      if (!next_u64(a.clients)) return false;
+    } else if (arg == "--requests") {
+      if (!next_u64(a.requests)) return false;
+    } else if (arg == "--distinct") {
+      if (!next_u64(a.distinct)) return false;
+    } else if (arg == "--window-us") {
+      if (!next_u64(a.window_us)) return false;
+    } else if (arg == "--batch") {
+      if (!next_u64(a.batch)) return false;
+    } else if (arg == "--cache") {
+      if (!next_u64(a.cache)) return false;
     } else if (arg == "--out") {
       if (i + 1 >= argc) return false;
       a.out = argv[++i];
@@ -194,6 +223,100 @@ int cmd_batch(const Args& a) {
   return rep.failed == 0 ? 0 : 1;
 }
 
+int cmd_stress(const Args& a) {
+  if (!a.positional.empty() || a.clients == 0 || a.requests == 0 ||
+      a.distinct == 0)
+    return usage();
+  const auto& reg = engine::builtin_registry();
+  const auto& solvers = reg.solvers();
+
+  // Distinct workload pool cycling the registered families, with the
+  // expected objective of each precomputed for result checking.
+  std::vector<engine::Instance> pool;
+  std::vector<double> expected;
+  for (std::uint64_t i = 0; i < a.distinct; ++i) {
+    const engine::Solver& s = *solvers[i % solvers.size()];
+    engine::Instance inst = s.generate({a.n, a.k, a.seed + i});
+    expected.push_back(s.solve(inst).objective);
+    pool.push_back(std::move(inst));
+  }
+
+  service::CordonService svc(
+      {.max_batch = a.batch,
+       .batch_window = std::chrono::microseconds(a.window_us),
+       .cache_capacity = a.cache,
+       .use_reference = a.reference},
+      reg);
+
+  std::vector<std::uint64_t> mismatches(a.clients, 0);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(a.clients);
+  for (std::uint64_t c = 0; c < a.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::pair<std::size_t, std::future<engine::SolveResult>>>
+          futs;
+      futs.reserve(a.requests);
+      for (std::uint64_t r = 0; r < a.requests; ++r) {
+        std::size_t idx = (c * a.requests + r) % pool.size();
+        futs.emplace_back(idx, svc.submit(pool[idx]));
+      }
+      for (auto& [idx, fut] : futs) {
+        double got = fut.get().objective;
+        double tol = 1e-6 * std::max(1.0, std::abs(expected[idx]));
+        if (std::abs(got - expected[idx]) > tol) ++mismatches[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+
+  std::uint64_t bad = 0;
+  for (std::uint64_t m : mismatches) bad += m;
+  std::uint64_t total = a.clients * a.requests;
+  service::ServiceStats stats = svc.stats();
+
+  std::printf(
+      "stress: %llu request(s) from %llu client thread(s) over %llu distinct "
+      "instance(s)\n",
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(a.clients),
+      static_cast<unsigned long long>(a.distinct));
+  std::printf(
+      "        wall=%.3f ms, throughput=%.1f req/s (workers=%zu, "
+      "window=%lluus, batch<=%llu)\n",
+      wall * 1e3, total / wall, parallel::num_workers(),
+      static_cast<unsigned long long>(a.window_us),
+      static_cast<unsigned long long>(a.batch));
+  std::printf(
+      "        cache: hit_rate=%.3f (%llu hits, %llu misses, %llu evictions, "
+      "%zu resident)\n",
+      stats.cache.hit_rate(), static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions), svc.cache_size());
+  std::printf(
+      "        dispatcher: %llu batch(es), largest=%zu, coalesced=%llu, "
+      "solver runs=%llu\n",
+      static_cast<unsigned long long>(stats.batches), stats.largest_batch,
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.solver.requests));
+  std::printf(
+      "        queue wait: mean=%.3f ms, max=%.3f ms; solve latency: "
+      "mean=%.3f ms, max=%.3f ms\n",
+      stats.queue.mean_wait_s() * 1e3, stats.queue.max_wait_s * 1e3,
+      stats.solver.mean_latency_s() * 1e3, stats.solver.max_latency_s * 1e3);
+  if (bad != 0 || stats.failed != 0) {
+    std::printf("        FAILED: %llu wrong objective(s), %llu exception(s)\n",
+                static_cast<unsigned long long>(bad),
+                static_cast<unsigned long long>(stats.failed));
+    return 1;
+  }
+  std::printf("        all objectives verified OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +329,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(a);
     if (cmd == "solve") return cmd_solve(a);
     if (cmd == "batch") return cmd_batch(a);
+    if (cmd == "stress") return cmd_stress(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cordon_cli: %s\n", e.what());
     return 1;

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown files.
+
+Scans every *.md outside build/hidden directories for inline links
+[text](target) and checks that relative targets (optionally with a
+#fragment) resolve to an existing file or directory. External schemes
+(http:, https:, mailto:) and pure in-page anchors (#...) are skipped;
+fragments on existing .md targets are not resolved against headings —
+this is a link-rot gate, not a full Markdown validator.
+
+Usage: python3 scripts/check_links.py [root]   (default: repo root)
+"""
+import os
+import re
+import sys
+
+# Inline Markdown links, ignoring images' leading '!' (their targets are
+# checked the same way) and <autolinks> (always absolute URLs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {"build", ".git", ".cache", "node_modules"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                base = root if rel.startswith("/") else os.path.dirname(path)
+                resolved = os.path.normpath(os.path.join(base, rel.lstrip("/")))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{os.path.relpath(path, root)}:{lineno}: "
+                        f"broken link '{target}' -> {resolved}"
+                    )
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    all_errors = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        all_errors.extend(check_file(path, root))
+        checked += 1
+    for err in all_errors:
+        print(err)
+    print(f"check_links: {checked} file(s), {len(all_errors)} broken link(s)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,19 @@ struct BatchStats {
     if (latency_s > max_latency_s) max_latency_s = latency_s;
   }
 
+  /// Merge another aggregate (the service folds one BatchExecutor report
+  /// per dispatched batch into a lifetime total).
+  BatchStats& operator+=(const BatchStats& o) {
+    requests += o.requests;
+    total += o.total;
+    if (o.max_rounds > max_rounds) max_rounds = o.max_rounds;
+    if (o.max_effective_depth > max_effective_depth)
+      max_effective_depth = o.max_effective_depth;
+    total_latency_s += o.total_latency_s;
+    if (o.max_latency_s > max_latency_s) max_latency_s = o.max_latency_s;
+    return *this;
+  }
+
   [[nodiscard]] double mean_latency_s() const {
     return requests == 0 ? 0.0 : total_latency_s / static_cast<double>(requests);
   }
@@ -73,6 +86,69 @@ inline std::ostream& operator<<(std::ostream& os, const BatchStats& s) {
             << ", max_effective_depth=" << s.max_effective_depth
             << ", mean_latency_s=" << s.mean_latency_s()
             << ", max_latency_s=" << s.max_latency_s << "}";
+}
+
+/// Result-cache counters (the service layer's sharded LRU reports these;
+/// shards each keep their own copy and `operator+=` folds them).  A hit
+/// means a request was answered without running any solver.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    return *this;
+  }
+
+  [[nodiscard]] double hit_rate() const {
+    std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CacheStats& s) {
+  return os << "{hits=" << s.hits << ", misses=" << s.misses
+            << ", insertions=" << s.insertions << ", evictions=" << s.evictions
+            << ", hit_rate=" << s.hit_rate() << "}";
+}
+
+/// Admission-queue latency counters: how long requests sat between
+/// `submit` and the dispatcher picking them up (the batching-window cost,
+/// separate from solver latency which BatchStats tracks).
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  double total_wait_s = 0;
+  double max_wait_s = 0;
+
+  void add(double wait_s) {
+    ++enqueued;
+    total_wait_s += wait_s;
+    if (wait_s > max_wait_s) max_wait_s = wait_s;
+  }
+
+  QueueStats& operator+=(const QueueStats& o) {
+    enqueued += o.enqueued;
+    total_wait_s += o.total_wait_s;
+    if (o.max_wait_s > max_wait_s) max_wait_s = o.max_wait_s;
+    return *this;
+  }
+
+  [[nodiscard]] double mean_wait_s() const {
+    return enqueued == 0 ? 0.0
+                         : total_wait_s / static_cast<double>(enqueued);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const QueueStats& s) {
+  return os << "{enqueued=" << s.enqueued
+            << ", mean_wait_s=" << s.mean_wait_s()
+            << ", max_wait_s=" << s.max_wait_s << "}";
 }
 
 /// Thread-safe accumulator used inside parallel loops; convert to DpStats

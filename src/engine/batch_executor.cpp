@@ -31,6 +31,12 @@ BatchItem solve_one(const ProblemRegistry& reg, const Instance& inst,
 
 BatchReport BatchExecutor::run(const std::vector<Instance>& queue,
                                const BatchOptions& opt) const {
+  // Callers are often not pool workers (the service dispatcher, client
+  // threads): adopt an external worker slot so the fan-out below forks
+  // onto the shared pool instead of degrading to inline execution.
+  // No-op when the calling thread already is a worker.
+  parallel::ExternalWorkerScope adopt;
+
   BatchReport report;
   report.items.resize(queue.size());
 

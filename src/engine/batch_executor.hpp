@@ -8,6 +8,13 @@
 // exactly what the helping scheduler is built for.  Per-request latency,
 // work/span counters, and known effective depths are aggregated into
 // core::BatchStats.
+//
+// Threading: `run` is synchronous and safe to call from any thread —
+// non-pool callers adopt an external worker slot for the duration, so
+// they get full parallelism — and a single BatchExecutor may be shared
+// by concurrent callers because it holds no mutable state.  For an
+// asynchronous, cached front-end on top of this executor see
+// service::CordonService.
 #pragma once
 
 #include <string>

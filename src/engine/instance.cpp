@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <streambuf>
 
 namespace cordon::engine {
 
@@ -343,6 +344,55 @@ struct SerializeVisitor {
 };
 
 }  // namespace
+
+namespace {
+
+// Sink that FNV-1a-hashes every byte the serializer writes, optionally
+// collecting them too, so hashing needs no intermediate string.
+class HashingBuf final : public std::streambuf {
+ public:
+  explicit HashingBuf(std::string* collect) : collect_(collect) {}
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) mix(static_cast<char>(ch));
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) mix(s[i]);
+    return n;
+  }
+
+ private:
+  void mix(char c) {
+    hash_ = (hash_ ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    if (collect_ != nullptr) collect_->push_back(c);
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  std::string* collect_;
+};
+
+}  // namespace
+
+std::uint64_t instance_hash(const Instance& inst) {
+  HashingBuf buf(nullptr);
+  std::ostream out(&buf);
+  serialize_instance(inst, out);
+  return buf.hash();
+}
+
+InstanceKey canonical_key(const Instance& inst) {
+  InstanceKey key;
+  HashingBuf buf(&key.text);
+  std::ostream out(&buf);
+  serialize_instance(inst, out);
+  key.hash = buf.hash();
+  return key;
+}
 
 void serialize_instance(const Instance& inst, std::ostream& out) {
   out << kMagic << ' ' << kVersion << ' ' << inst.kind << '\n';

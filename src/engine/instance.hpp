@@ -125,6 +125,31 @@ struct Instance {
   }
 };
 
+// --- canonicalization & hashing ---------------------------------------------
+//
+// The serializer emits a unique, deterministic text form for any payload
+// (fixed key order, fixed vector wrapping, precision-17 doubles), so the
+// serialized text IS the canonical form: two instances are semantically
+// equal iff their canonical texts are byte-identical, and the form is
+// stable across parse/serialize round-trips.  The service layer's result
+// cache keys on the 64-bit FNV-1a hash of that text (cheap shard pick)
+// plus the text itself (exact equality, so a hash collision can never
+// return the wrong cached result).
+
+struct InstanceKey {
+  std::uint64_t hash = 0;  // FNV-1a 64 of `text`
+  std::string text;        // canonical serialization
+
+  friend bool operator==(const InstanceKey&, const InstanceKey&) = default;
+};
+
+/// FNV-1a 64 of the canonical text, computed in one streaming pass
+/// without materializing the text.
+[[nodiscard]] std::uint64_t instance_hash(const Instance& inst);
+
+/// Canonical text plus its hash (one serialization pass).
+[[nodiscard]] InstanceKey canonical_key(const Instance& inst);
+
 // --- text round-trip --------------------------------------------------------
 //
 // Format (whitespace-separated, '#' starts a comment):

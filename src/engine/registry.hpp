@@ -5,6 +5,13 @@
 // each algorithm module implements `register_<family>(ProblemRegistry&)`
 // next to its adapter, and `builtin_registry()` assembles all of them
 // once.  Tests can also build small custom registries.
+//
+// Threading: registration is not synchronized — build a registry on one
+// thread, then treat it as immutable.  All const members (find/at/keys/
+// solvers) are safe to call concurrently, which is what lets the batch
+// executor and the service dispatch from many threads at once;
+// builtin_registry() construction is thread-safe (function-local
+// static).
 #pragma once
 
 #include <memory>

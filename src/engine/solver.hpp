@@ -5,6 +5,11 @@
 // key), so callers — the CLI, the batch executor, tests, benches — can
 // treat "solve an instance" as data-driven dispatch instead of linking
 // against nine bespoke APIs.
+//
+// Threading: adapters hold no mutable state — solve/solve_reference/
+// generate are const and safe to call concurrently on one Solver (the
+// batch executor and service rely on this).  Solvers parallelize
+// internally on the shared scheduler; callers need no locking.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "src/parallel/scheduler.hpp"
 
+#include <array>
 #include <cassert>
 #include <cstdlib>
 #include <memory>
@@ -81,13 +82,21 @@ class Deque {
 };
 
 struct Pool {
+  // Reserved deque slots for adopted external threads (ExternalWorkerScope):
+  // slots [n, n + kMaxExternal) are allocated up front so thieves can scan
+  // a fixed range without synchronizing on slot churn.
+  static constexpr std::size_t kMaxExternal = 8;
+
   std::vector<std::unique_ptr<Deque>> deques;
   std::vector<std::thread> threads;
+  std::array<std::atomic<bool>, kMaxExternal> external_claimed{};
   std::atomic<bool> shutting_down{false};
   std::size_t n = 1;
 
-  explicit Pool(std::size_t workers);
+  Pool(std::size_t workers, bool adopt_caller);
   ~Pool();
+
+  [[nodiscard]] std::size_t slots() const { return n + kMaxExternal; }
 
   detail::Job* try_steal(std::size_t self, std::uint64_t& rng);
   void worker_loop(std::size_t id);
@@ -116,15 +125,25 @@ std::uint64_t next_rand(std::uint64_t& s) {
   return s;
 }
 
-Pool::Pool(std::size_t workers) : n(workers) {
-  deques.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
+Pool::Pool(std::size_t workers, bool adopt_caller) : n(workers) {
+  deques.reserve(slots());
+  for (std::size_t i = 0; i < slots(); ++i)
     deques.push_back(std::make_unique<Deque>());
-  // Worker 0 is the thread that created the pool (typically main); spawn
-  // the remaining n-1 threads.
-  t_worker_id = 0;
-  t_is_worker = true;
-  for (std::size_t i = 1; i < n; ++i) {
+  std::size_t first_spawned = 1;
+  if (adopt_caller) {
+    // Worker 0 is the thread that created the pool (typically main);
+    // spawn the remaining n-1 threads.
+    t_worker_id = 0;
+    t_is_worker = true;
+  } else {
+    // Bootstrapped from a transient external thread (e.g. a service
+    // dispatcher adopting a slot): conscripting it as worker 0 would
+    // permanently shrink the pool when it exits, so spawn a dedicated
+    // worker 0 and let the caller claim an external slot like any
+    // other thread.
+    first_spawned = 0;
+  }
+  for (std::size_t i = first_spawned; i < n; ++i) {
     threads.emplace_back([this, i] { worker_loop(i); });
   }
 }
@@ -135,8 +154,10 @@ Pool::~Pool() {
 }
 
 detail::Job* Pool::try_steal(std::size_t self, std::uint64_t& rng) {
-  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
-    std::size_t victim = next_rand(rng) % n;
+  // Victims include the external slots: work forked by adopted threads is
+  // stealable by everyone, and vice versa.
+  for (std::size_t attempt = 0; attempt < 2 * slots(); ++attempt) {
+    std::size_t victim = next_rand(rng) % slots();
     if (victim == self) continue;
     if (detail::Job* job = deques[victim]->steal()) return job;
   }
@@ -160,8 +181,10 @@ void Pool::worker_loop(std::size_t id) {
   }
 }
 
-Pool& pool() {
-  std::call_once(g_pool_once, [] { g_pool = new Pool(configured_workers()); });
+Pool& pool(bool adopt_caller = true) {
+  std::call_once(g_pool_once, [adopt_caller] {
+    g_pool = new Pool(configured_workers(), adopt_caller);
+  });
   return *g_pool;
 }
 
@@ -192,6 +215,32 @@ void wait_for(Job* job) {
 
 bool in_sequential_region() noexcept { return t_sequential; }
 void set_sequential_region(bool on) noexcept { t_sequential = on; }
+
+bool adopt_external_worker() {
+  if (t_is_worker) return false;  // already a worker (pool or adopted)
+  // If the pool does not exist yet, start it WITHOUT becoming worker 0
+  // (this thread may be transient); fall through to claim a slot.
+  Pool& p = pool(/*adopt_caller=*/false);
+  for (std::size_t i = 0; i < Pool::kMaxExternal; ++i) {
+    bool expected = false;
+    if (p.external_claimed[i].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      t_worker_id = p.n + i;
+      t_is_worker = true;
+      return true;
+    }
+  }
+  return false;  // all slots taken: caller runs inline
+}
+
+void release_external_worker() {
+  Pool& p = pool();
+  assert(t_is_worker && t_worker_id >= p.n);
+  std::size_t slot = t_worker_id - p.n;
+  t_is_worker = false;
+  t_worker_id = 0;
+  p.external_claimed[slot].store(false, std::memory_order_release);
+}
 
 }  // namespace detail
 

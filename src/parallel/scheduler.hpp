@@ -14,6 +14,17 @@
 // (default: std::thread::hardware_concurrency()).  A `SequentialRegion`
 // RAII guard forces inline execution, which is how benchmarks produce the
 // "ours (1 thread)" series without restarting the pool.
+//
+// The thread that first starts the pool via par_do/ensure_started
+// becomes worker 0 (when an adopting external thread bootstraps the
+// pool instead, a dedicated worker-0 thread is spawned so a transient
+// thread is never conscripted); every other thread is an outsider whose
+// forks would run inline.  Threads the
+// library does not own (service dispatchers, user threads calling into
+// solvers) adopt a reserved worker slot with an `ExternalWorkerScope`,
+// which gives them a deque of their own so their forks are stealable and
+// they help steal while joining — this is what lets an asynchronous
+// front-end drive the same nested fork-join substrate as main().
 #pragma once
 
 #include <atomic>
@@ -50,12 +61,21 @@ void wait_for(Job* job);
 bool in_sequential_region() noexcept;
 void set_sequential_region(bool on) noexcept;
 
+// Claims / releases one of the reserved external worker slots for the
+// calling thread (see ExternalWorkerScope).  adopt returns false when the
+// thread is already a worker or every slot is taken.
+bool adopt_external_worker();
+void release_external_worker();
+
 }  // namespace detail
 
-/// Number of worker threads in the pool (>= 1).
+/// Number of worker threads in the pool (>= 1), excluding adopted
+/// external slots.
 std::size_t num_workers() noexcept;
 
-/// Id of the calling worker in [0, num_workers()); non-pool threads get 0.
+/// Id of the calling worker; pool workers get [0, num_workers()), adopted
+/// external threads get [num_workers(), num_workers() + slots), and
+/// non-worker threads get 0.
 std::size_t worker_id() noexcept;
 
 /// Starts the pool if not yet running.  Called lazily by par_do; exposed so
@@ -159,6 +179,36 @@ class SequentialRegion {
 
  private:
   bool prev_;
+};
+
+/// RAII guard: while alive, the calling thread — which must NOT be a pool
+/// worker — occupies one of a small number of reserved worker slots, so
+/// its par_do/parallel_for calls fork onto the shared pool (stealable by
+/// every worker) instead of degrading to inline execution, and the thread
+/// itself helps execute jobs while it waits on joins.
+///
+/// Used by threads the scheduler does not own: the service dispatcher,
+/// client threads calling BatchExecutor::run directly, tests.  If the
+/// calling thread already is a worker, or all slots are taken, the guard
+/// is a no-op and forks simply run inline — so nesting scopes on one
+/// thread is safe (the inner scope adopts nothing and releases nothing;
+/// BatchExecutor::run relies on this when called from the service's
+/// already-adopted dispatcher).  The scope must outlive every fork the
+/// thread issues while holding it.
+class ExternalWorkerScope {
+ public:
+  ExternalWorkerScope() : adopted_(detail::adopt_external_worker()) {}
+  ~ExternalWorkerScope() {
+    if (adopted_) detail::release_external_worker();
+  }
+  ExternalWorkerScope(const ExternalWorkerScope&) = delete;
+  ExternalWorkerScope& operator=(const ExternalWorkerScope&) = delete;
+
+  /// True when a slot was claimed (forks from this thread are stealable).
+  [[nodiscard]] bool adopted() const noexcept { return adopted_; }
+
+ private:
+  bool adopted_;
 };
 
 }  // namespace cordon::parallel

@@ -1,0 +1,222 @@
+#include "src/service/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cordon::service {
+
+CordonService::CordonService(ServiceOptions opt,
+                             const engine::ProblemRegistry& reg)
+    : opt_(opt), executor_(reg) {
+  if (opt_.max_batch == 0) opt_.max_batch = 1;
+  if (opt_.cache_capacity > 0)
+    cache_ = std::make_unique<ShardedLruCache<engine::SolveResult>>(
+        opt_.cache_capacity, opt_.cache_shards);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+CordonService::~CordonService() { shutdown(); }
+
+std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
+  // Reject up front — without taking the global lock, so the cache-hit
+  // fast path never contends on mu_ — and again under mu_ before
+  // enqueueing, so the post-shutdown contract holds on both paths and
+  // does not depend on cache contents.
+  if (stopping_.load(std::memory_order_acquire))
+    throw std::runtime_error("CordonService: submit after shutdown");
+  engine::InstanceKey key = engine::canonical_key(inst);
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->get(key.hash, key.text)) {
+      // Fast path: completed future, no queue, no dispatcher wake-up,
+      // no service-wide lock.  seq_cst increments in this order let
+      // stats() (which reads hit_completed_ before submitted_) never
+      // observe completed > submitted.
+      submitted_.fetch_add(1);
+      hit_completed_.fetch_add(1);
+      std::promise<engine::SolveResult> ready;
+      ready.set_value(*std::move(hit));
+      return ready.get_future();
+    }
+  }
+  Pending pend{std::move(inst), std::move(key), {},
+               std::chrono::steady_clock::now()};
+  std::future<engine::SolveResult> fut = pend.promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed))
+      throw std::runtime_error("CordonService: submit after shutdown");
+    queue_.push_back(std::move(pend));
+    // Count only successfully admitted requests, while the dispatcher
+    // cannot yet have taken this one: submitted >= completed + failed
+    // holds at every instant.
+    submitted_.fetch_add(1);
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void CordonService::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  // One thread joins; concurrent callers block here until it is done.
+  std::call_once(join_once_, [this] {
+    if (dispatcher_.joinable()) dispatcher_.join();
+  });
+}
+
+ServiceStats CordonService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(stats_mu_);
+    out = stats_;
+  }
+  // hit_completed_ before submitted_ (see submit's fast path): a hit's
+  // submit increment is always visible by the time its completion is.
+  out.completed += hit_completed_.load();
+  out.submitted = submitted_.load();
+  if (cache_ != nullptr) out.cache = cache_->stats();
+  return out;
+}
+
+std::size_t CordonService::cache_size() const {
+  return cache_ == nullptr ? 0 : cache_->size();
+}
+
+void CordonService::dispatch_loop() {
+  // Adopt an external worker slot for the thread's lifetime so the
+  // executor's forks below go onto the shared pool instead of running
+  // inline on this thread.
+  parallel::ExternalWorkerScope adopt;
+
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+
+    // Batching window: dispatch when the batch is full or the oldest
+    // request has waited long enough (shutdown flushes immediately).
+    auto deadline = queue_.front().enqueued + opt_.batch_window;
+    while (!stopping_ && queue_.size() < opt_.max_batch &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+
+    std::size_t take = std::min(queue_.size(), opt_.max_batch);
+    std::vector<Pending> taken;
+    taken.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      taken.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    run_batch(std::move(taken));
+    lock.lock();
+  }
+}
+
+void CordonService::run_batch(std::vector<Pending> taken) {
+  auto dispatched_at = std::chrono::steady_clock::now();
+
+  // Coalesce: identical canonical texts collapse onto the first
+  // occurrence (the "leader"); one solve serves every duplicate.
+  struct Group {
+    std::size_t leader;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Group> groups;
+  {
+    std::unordered_map<std::string_view, std::size_t> by_text;  // -> group
+    for (std::size_t i = 0; i < taken.size(); ++i) {
+      auto [it, fresh] =
+          by_text.try_emplace(std::string_view(taken[i].key.text),
+                              groups.size());
+      if (fresh) groups.push_back(Group{i, {}});
+      groups[it->second].members.push_back(i);
+    }
+  }
+
+  // A prior batch may have cached a key after these requests were
+  // admitted: re-probe before solving.  (So a queued request probes the
+  // cache twice — once in submit, once here; CacheStats counts probes.)
+  struct Outcome {
+    const Group* group;
+    engine::SolveResult result;      // when ok
+    std::exception_ptr error;        // when !ok
+  };
+  std::vector<Outcome> outcomes;
+  std::vector<const Group*> to_solve;
+  std::vector<engine::Instance> batch;
+  for (const Group& g : groups) {
+    const engine::InstanceKey& key = taken[g.leader].key;
+    if (cache_ != nullptr) {
+      if (auto hit = cache_->get(key.hash, key.text)) {
+        outcomes.push_back({&g, *std::move(hit), nullptr});
+        continue;
+      }
+    }
+    to_solve.push_back(&g);
+    // The leader's instance is not read again (key/text live separately
+    // in Pending::key), so hand it to the executor without copying.
+    batch.push_back(std::move(taken[g.leader].inst));
+  }
+
+  engine::BatchReport report;
+  if (!batch.empty())
+    report = executor_.run(
+        batch, {.parallel = true, .use_reference = opt_.use_reference});
+
+  std::uint64_t completed = 0, failed = 0;
+  for (std::size_t i = 0; i < to_solve.size(); ++i) {
+    const Group& g = *to_solve[i];
+    const engine::BatchItem& item = report.items[i];
+    if (item.ok) {
+      if (cache_ != nullptr) {
+        engine::InstanceKey& key = taken[g.leader].key;
+        cache_->put(key.hash, std::move(key.text), item.result);
+      }
+      outcomes.push_back({&g, item.result, nullptr});
+    } else {
+      outcomes.push_back(
+          {&g, {},
+           std::make_exception_ptr(std::runtime_error(
+               "cordon service: " + item.kind + ": " + item.error))});
+    }
+  }
+  for (const Outcome& o : outcomes) {
+    std::uint64_t n = o.group->members.size();
+    (o.error == nullptr ? completed : failed) += n;
+  }
+
+  // Counters first, futures second: a client that wakes from get() must
+  // observe stats that already include its own request.
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.batches;
+    stats_.largest_batch = std::max(stats_.largest_batch, taken.size());
+    stats_.coalesced += taken.size() - groups.size();
+    stats_.completed += completed;
+    stats_.failed += failed;
+    stats_.solver += report.stats;
+    for (const Pending& p : taken)
+      stats_.queue.add(
+          std::chrono::duration<double>(dispatched_at - p.enqueued).count());
+  }
+
+  for (const Outcome& o : outcomes) {
+    for (std::size_t m : o.group->members) {
+      if (o.error == nullptr)
+        taken[m].promise.set_value(o.result);
+      else
+        taken[m].promise.set_exception(o.error);
+    }
+  }
+}
+
+}  // namespace cordon::service

@@ -1,0 +1,141 @@
+// CordonService: the always-on asynchronous front door of the engine.
+//
+// Where BatchExecutor must be handed a whole queue up front and blocks
+// until it drains, CordonService accepts `submit(Instance)` from any
+// number of client threads and returns a std::future<SolveResult>
+// immediately.  Behind the API:
+//
+//   1. submit() canonicalizes the instance (engine::canonical_key) and
+//      probes the sharded LRU result cache — a hit completes the future
+//      on the spot without touching the solver or the queue.
+//   2. A miss appends the request to the admission queue.  A dedicated
+//      dispatcher thread coalesces pending requests into batches —
+//      dispatching when `max_batch` requests are waiting or when the
+//      oldest has waited `batch_window`, whichever comes first — and
+//      identical instances inside a batch collapse to one solve.
+//   3. The batch runs through BatchExecutor on the shared work-stealing
+//      pool (the dispatcher adopts an external worker slot, so nested
+//      intra-instance parallelism works exactly as from main()), results
+//      are inserted into the cache, and every waiting future completes.
+//
+// Threading guarantees: submit(), stats(), cache_size(), and shutdown()
+// are all safe to call concurrently from any thread.  Futures may be
+// waited on from any thread.  A solver failure (unknown kind, solver
+// threw) surfaces as an exception on that request's future; it never
+// takes down the service, is never cached, and other requests in the
+// same batch are unaffected.  The destructor drains every already
+// submitted request before returning, so no future is ever abandoned.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+#include "src/engine/batch_executor.hpp"
+#include "src/engine/instance.hpp"
+#include "src/engine/registry.hpp"
+#include "src/service/sharded_cache.hpp"
+
+namespace cordon::service {
+
+struct ServiceOptions {
+  /// Largest batch handed to the executor in one dispatch.
+  std::size_t max_batch = 64;
+  /// How long the dispatcher lets the oldest pending request wait for
+  /// company before dispatching a partial batch.
+  std::chrono::microseconds batch_window{500};
+  /// Total result-cache entries across all shards; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+  /// Solve with the naive oracle instead of the optimized algorithm
+  /// (cross-validation workloads).
+  bool use_reference = false;
+};
+
+/// Lifetime counters, readable at any time via CordonService::stats().
+struct ServiceStats {
+  std::uint64_t submitted = 0;       // every submit() call
+  std::uint64_t completed = 0;       // futures fulfilled with a result
+  std::uint64_t failed = 0;          // futures fulfilled with an exception
+  std::uint64_t batches = 0;         // dispatcher batches executed
+  std::uint64_t coalesced = 0;       // duplicate requests merged in-batch
+  std::size_t largest_batch = 0;     // most requests in one dispatch
+  core::CacheStats cache;            // hits / misses / evictions
+  core::QueueStats queue;            // submit -> dispatch wait times
+  core::BatchStats solver;           // aggregate over executed solves
+};
+
+class CordonService {
+ public:
+  /// Starts the dispatcher thread.  The registry must outlive the
+  /// service.
+  explicit CordonService(ServiceOptions opt = {},
+                         const engine::ProblemRegistry& reg =
+                             engine::builtin_registry());
+
+  /// Drains all pending requests, then joins the dispatcher.
+  ~CordonService();
+
+  CordonService(const CordonService&) = delete;
+  CordonService& operator=(const CordonService&) = delete;
+
+  /// Asynchronous admission: returns immediately.  Cache hits complete
+  /// the returned future before submit() returns; misses complete once
+  /// the dispatcher's batch containing them finishes.  Throws
+  /// std::runtime_error if called after shutdown().
+  [[nodiscard]] std::future<engine::SolveResult> submit(engine::Instance inst);
+
+  /// Stops admission, drains every pending request, joins the
+  /// dispatcher.  Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t cache_size() const;
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return opt_; }
+
+ private:
+  struct Pending {
+    engine::Instance inst;
+    engine::InstanceKey key;
+    std::promise<engine::SolveResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatch_loop();
+  void run_batch(std::vector<Pending> taken);
+
+  ServiceOptions opt_;
+  engine::BatchExecutor executor_;
+  std::unique_ptr<ShardedLruCache<engine::SolveResult>> cache_;  // null = off
+
+  mutable std::mutex mu_;  // guards queue_; stopping_ writes happen
+                           // under it too (condvar coordination), but
+                           // the atomic lets submit()'s fast path check
+                           // it without taking the global lock
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::atomic<bool> stopping_{false};
+
+  // submitted and cache-hit completions are atomics so the cache-hit
+  // fast path takes no service-wide lock (its only contention is the
+  // cache shard); the dispatcher-side counters stay behind stats_mu_.
+  // stats() merges all three sources into one ServiceStats.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> hit_completed_{0};
+  mutable std::mutex stats_mu_;  // guards stats_ (cache keeps its own)
+  ServiceStats stats_;           // batch-side counters; submitted /
+                                 // fast-path completed live above
+
+  std::once_flag join_once_;  // exactly one shutdown() joins
+  std::thread dispatcher_;    // started last, joined in shutdown()
+};
+
+}  // namespace cordon::service

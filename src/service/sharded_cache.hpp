@@ -1,0 +1,148 @@
+// ShardedLruCache: the service layer's result cache.
+//
+// A fixed array of independent LRU shards, each an intrusive
+// list + hash-map pair behind its own mutex.  A key's 64-bit hash picks
+// the shard (high bits, so shard choice is independent of the hash-map's
+// bucket choice), and within the shard the *full* key string decides
+// equality — a hash collision can therefore never return the wrong
+// entry, only land two keys in the same shard.
+//
+// Threading: every public method is safe to call concurrently from any
+// number of threads; only one shard's mutex is held at a time and no
+// method blocks on more than one shard (stats/size/clear visit shards
+// one by one, so they are monotonic snapshots, not a single atomic
+// cut — fine for monitoring).  Values are returned by copy so no
+// reference escapes a shard lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/dp_stats.hpp"
+
+namespace cordon::service {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry, so the effective total is
+  /// max(capacity, shards) rounded up to a multiple of the shard count).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16)
+      : shards_(shards == 0 ? 1 : shards) {
+    std::size_t per_shard = (capacity + shards_.size() - 1) / shards_.size();
+    per_shard_capacity_ = per_shard == 0 ? 1 : per_shard;
+    for (auto& s : shards_) s = std::make_unique<Shard>();
+  }
+
+  /// Copy of the cached value, refreshing its recency; nullopt on miss.
+  [[nodiscard]] std::optional<Value> get(std::uint64_t hash,
+                                         std::string_view key) {
+    Shard& s = shard(hash);
+    std::lock_guard lock(s.mu);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      ++s.stats.misses;
+      return std::nullopt;
+    }
+    ++s.stats.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) key -> value, evicting the shard's least
+  /// recently used entry when the shard is at capacity.
+  void put(std::uint64_t hash, std::string key, Value value) {
+    Shard& s = shard(hash);
+    std::lock_guard lock(s.mu);
+    auto it = s.index.find(std::string_view(key));
+    if (it != s.index.end()) {
+      it->second->value = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    if (s.lru.size() >= per_shard_capacity_) {
+      s.index.erase(std::string_view(s.lru.back().key));
+      s.lru.pop_back();
+      ++s.stats.evictions;
+    }
+    s.lru.push_front(Entry{std::move(key), std::move(value)});
+    // string_view into the list node: std::list never moves its nodes.
+    s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+    ++s.stats.insertions;
+  }
+
+  /// Aggregated counters across shards (monotonic snapshot).
+  [[nodiscard]] core::CacheStats stats() const {
+    core::CacheStats out;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      out += s->stats;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      n += s->lru.size();
+    }
+    return n;
+  }
+
+  void clear() {
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      s->index.clear();
+      s->lru.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return per_shard_capacity_ * shards_.size();
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+
+  struct StringViewHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string_view, typename std::list<Entry>::iterator,
+                       StringViewHash>
+        index;  // views point into lru nodes (stable addresses)
+    core::CacheStats stats;
+  };
+
+  Shard& shard(std::uint64_t hash) {
+    // High bits: independent of unordered_map's low-bit bucket choice.
+    return *shards_[(hash >> 48) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_ = 1;
+};
+
+}  // namespace cordon::service

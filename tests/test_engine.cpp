@@ -15,19 +15,16 @@
 #include "src/engine/instance.hpp"
 #include "src/engine/registry.hpp"
 #include "src/parallel/scheduler.hpp"
+#include "test_util.hpp"
 
 namespace ce = cordon::engine;
+using cordon::testing::expect_objective_near;
 
 namespace {
 
 const std::vector<std::string> kAllKinds = {"glws", "kglws", "lis",
                                             "lcs",  "gap",   "oat",
                                             "obst", "treeglws", "dag"};
-
-void expect_objective_near(double got, double want, const std::string& what) {
-  double tol = 1e-6 * std::max(1.0, std::abs(want));
-  EXPECT_NEAR(got, want, tol) << what;
-}
 
 }  // namespace
 
@@ -94,6 +91,23 @@ TEST_P(SolverSweep, SerializationRoundTripsExactly) {
   // And the parsed instance solves to the same objective.
   expect_objective_near(solver.solve(back).objective,
                         solver.solve(inst).objective, kind + " round-trip");
+}
+
+TEST_P(SolverSweep, CanonicalHashStableAcrossRoundTrip) {
+  auto [kind, n, seed] = GetParam();
+  const ce::Solver& solver = ce::builtin_registry().at(kind);
+  ce::Instance inst = solver.generate({n, /*k=*/4, seed});
+
+  ce::InstanceKey key = ce::canonical_key(inst);
+  // The canonical text is exactly the serialized form, and the streaming
+  // hash agrees with hashing the materialized text.
+  EXPECT_EQ(key.text, ce::to_string(inst));
+  EXPECT_EQ(key.hash, ce::instance_hash(inst));
+
+  // Parse -> re-canonicalize is the identity: equal instances hash equal
+  // across serialization round-trips.
+  ce::Instance back = ce::from_string(key.text);
+  EXPECT_EQ(ce::canonical_key(back), key) << kind << " round-trip";
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -286,4 +300,57 @@ TEST(ExplicitCordon, WellFormedGeneratedDagsNeverReportStuckStates) {
     ce::Instance inst = dag.generate({80, 1, seed});
     EXPECT_NO_THROW((void)dag.solve(inst)) << "seed=" << seed;
   }
+}
+
+// --- canonicalization & hashing ---------------------------------------------
+
+TEST(InstanceHash, DistinctInstancesRarelyCollide) {
+  // Spot check per family: different seeds (and different kinds) give
+  // different hashes.  Collisions are possible only by (2^-64) chance.
+  std::set<std::uint64_t> seen;
+  std::size_t generated = 0;
+  for (const std::string& kind : kAllKinds) {
+    const ce::Solver& solver = ce::builtin_registry().at(kind);
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+      seen.insert(ce::instance_hash(solver.generate({50, 4, seed})));
+      ++generated;
+    }
+  }
+  EXPECT_EQ(seen.size(), generated);
+}
+
+TEST(InstanceHash, SensitiveToEveryField) {
+  ce::GlwsInstance base{100, 0.5, {ce::CostSpec::Family::kAffine, 1.0, 2.0}};
+  auto hash_of = [](const ce::GlwsInstance& p) {
+    return ce::instance_hash(ce::Instance{"glws", p});
+  };
+  std::uint64_t h0 = hash_of(base);
+
+  ce::GlwsInstance m = base;
+  m.n = 101;
+  EXPECT_NE(hash_of(m), h0);
+  m = base;
+  m.d0 = 0.25;
+  EXPECT_NE(hash_of(m), h0);
+  m = base;
+  m.cost.open = 1.5;
+  EXPECT_NE(hash_of(m), h0);
+  m = base;
+  m.cost.scale = 2.5;
+  EXPECT_NE(hash_of(m), h0);
+  m = base;
+  m.cost.family = ce::CostSpec::Family::kQuadratic;
+  EXPECT_NE(hash_of(m), h0);
+
+  // The kind participates too: identical payload, different solver.
+  EXPECT_NE(ce::instance_hash(ce::Instance{"oat", ce::OatInstance{{1, 2}}}),
+            ce::instance_hash(ce::Instance{"obst", ce::ObstInstance{{1, 2}}}));
+}
+
+TEST(InstanceHash, EqualPayloadsHashEqual) {
+  // Two independently constructed but identical payloads canonicalize
+  // identically (no address/ordering leakage).
+  ce::Instance a{"lis", ce::LisInstance{{5, 3, 9, 1}}};
+  ce::Instance b{"lis", ce::LisInstance{{5, 3, 9, 1}}};
+  EXPECT_EQ(ce::canonical_key(a), ce::canonical_key(b));
 }

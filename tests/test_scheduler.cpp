@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/parallel/scheduler.hpp"
@@ -72,4 +73,48 @@ TEST(Scheduler, SequentialRegionForcesInline) {
 
 TEST(Scheduler, NumWorkersPositive) {
   EXPECT_GE(cp::num_workers(), 1u);
+}
+
+TEST(Scheduler, ExternalThreadAdoptsWorkerSlot) {
+  cp::ensure_started();  // this thread (or an earlier test's) is worker 0
+  std::thread outsider([] {
+    // Without adoption an outside thread is anonymous worker 0.
+    EXPECT_EQ(cp::worker_id(), 0u);
+
+    cp::ExternalWorkerScope scope;
+    EXPECT_TRUE(scope.adopted());
+    EXPECT_GE(cp::worker_id(), cp::num_workers());
+
+    // Nested adoption is a no-op: the thread already holds a slot.
+    {
+      cp::ExternalWorkerScope nested;
+      EXPECT_FALSE(nested.adopted());
+    }
+
+    // Forks from the adopted thread produce correct results (and are
+    // stealable by the pool, though that part is timing-dependent).
+    const std::size_t n = 50000;
+    std::vector<std::atomic<int>> hits(n);
+    cp::parallel_for(0, n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  });
+  outsider.join();
+}
+
+TEST(Scheduler, ExternalSlotsAreReusedAfterRelease) {
+  cp::ensure_started();
+  // Serial adopt/release cycles on fresh threads must never exhaust the
+  // fixed slot pool.
+  for (int round = 0; round < 20; ++round) {
+    std::thread t([] {
+      cp::ExternalWorkerScope scope;
+      EXPECT_TRUE(scope.adopted());
+      std::atomic<int> count{0};
+      cp::par_do([&] { count++; }, [&] { count++; });
+      EXPECT_EQ(count.load(), 2);
+    });
+    t.join();
+  }
 }

@@ -1,0 +1,282 @@
+// Service layer: ShardedLruCache semantics, asynchronous admission,
+// batching/coalescing, cache hit/miss/eviction accounting, failure
+// isolation, shutdown draining, and oracle-checked correctness under
+// concurrent client threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/instance.hpp"
+#include "src/engine/registry.hpp"
+#include "src/parallel/scheduler.hpp"
+#include "src/service/service.hpp"
+#include "src/service/sharded_cache.hpp"
+#include "test_util.hpp"
+
+namespace ce = cordon::engine;
+namespace cs = cordon::service;
+using cordon::testing::expect_objective_near;
+
+namespace {
+
+std::uint64_t h(const std::string& s) {
+  return static_cast<std::uint64_t>(std::hash<std::string>{}(s)) *
+         0x9e3779b97f4a7c15ull;  // spread into the high bits shards use
+}
+
+}  // namespace
+
+// --- ShardedLruCache --------------------------------------------------------
+
+TEST(ShardedLruCache, MissThenHit) {
+  cs::ShardedLruCache<int> cache(8, 4);
+  EXPECT_FALSE(cache.get(h("a"), "a").has_value());
+  cache.put(h("a"), "a", 41);
+  auto v = cache.get(h("a"), "a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 41);
+
+  cordon::core::CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(ShardedLruCache, LruEvictionRefreshedByGet) {
+  // One shard so recency order is deterministic.
+  cs::ShardedLruCache<int> cache(2, 1);
+  cache.put(h("a"), "a", 1);
+  cache.put(h("b"), "b", 2);
+  EXPECT_TRUE(cache.get(h("a"), "a").has_value());  // a now most recent
+  cache.put(h("c"), "c", 3);                        // evicts b, not a
+  EXPECT_FALSE(cache.get(h("b"), "b").has_value());
+  EXPECT_TRUE(cache.get(h("a"), "a").has_value());
+  EXPECT_TRUE(cache.get(h("c"), "c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCache, PutRefreshesExistingKey) {
+  cs::ShardedLruCache<int> cache(2, 1);
+  cache.put(h("a"), "a", 1);
+  cache.put(h("a"), "a", 7);  // refresh, not a second entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(h("a"), "a"), 7);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ShardedLruCache, HashCollisionsCannotAlias) {
+  // Same hash, different keys: full-key equality keeps them apart.
+  cs::ShardedLruCache<int> cache(8, 4);
+  cache.put(123, "left", 1);
+  cache.put(123, "right", 2);
+  EXPECT_EQ(*cache.get(123, "left"), 1);
+  EXPECT_EQ(*cache.get(123, "right"), 2);
+}
+
+TEST(ShardedLruCache, CapacitySplitsAcrossShards) {
+  cs::ShardedLruCache<int> cache(16, 4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.capacity(), 16u);
+  // Tiny capacity still gives every shard one slot.
+  cs::ShardedLruCache<int> tiny(1, 8);
+  EXPECT_EQ(tiny.capacity(), 8u);
+}
+
+// --- CordonService: basics --------------------------------------------------
+
+TEST(CordonService, SingleSubmitMatchesDirectSolve) {
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+  ce::Instance inst = solver.generate({200, 4, 7});
+
+  cs::CordonService svc;
+  ce::SolveResult got = svc.submit(inst).get();
+  expect_objective_near(got.objective, solver.solve(inst).objective,
+                        "service vs direct");
+
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.solver.requests, 1u);
+}
+
+TEST(CordonService, RepeatSubmitIsServedFromCache) {
+  const ce::Solver& solver = ce::builtin_registry().at("glws");
+  ce::Instance inst = solver.generate({300, 4, 5});
+
+  cs::CordonService svc;
+  double first = svc.submit(inst).get().objective;
+
+  // Second submit of the byte-identical workload: answered in submit(),
+  // no new solver run.
+  std::future<ce::SolveResult> fut = svc.submit(inst);
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get().objective, first);
+
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.solver.requests, 1u);
+  EXPECT_GE(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(CordonService, DuplicatesInFlightCollapseToOneSolve) {
+  // A wide batching window keeps all duplicates in one dispatch; even if
+  // they split across dispatches, the dispatcher's cache re-probe means
+  // the solver still runs exactly once.
+  const ce::Solver& solver = ce::builtin_registry().at("oat");
+  ce::Instance inst = solver.generate({150, 4, 3});
+
+  cs::CordonService svc({.max_batch = 64,
+                         .batch_window = std::chrono::microseconds(50000)});
+  std::vector<std::future<ce::SolveResult>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(svc.submit(inst));
+  double want = solver.solve(inst).objective;
+  for (auto& f : futs)
+    expect_objective_near(f.get().objective, want, "coalesced duplicate");
+
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.solver.requests, 1u);
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_GE(stats.coalesced + stats.cache.hits, 11u);
+}
+
+TEST(CordonService, FailuresSurfaceAsExceptionsAndAreNotCached) {
+  cs::CordonService svc;
+  ce::Instance bad{"no-such-problem", ce::LisInstance{{1, 2, 3}}};
+  EXPECT_THROW(svc.submit(bad).get(), std::runtime_error);
+  EXPECT_THROW(svc.submit(bad).get(), std::runtime_error);  // not cached
+
+  // The dispatcher survives failures; good requests still complete.
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+  ce::Instance good = solver.generate({100, 4, 1});
+  expect_objective_near(svc.submit(good).get().objective,
+                        solver.solve(good).objective, "after failure");
+
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(CordonService, ShutdownDrainsPendingAndRejectsNewSubmits) {
+  const ce::Solver& solver = ce::builtin_registry().at("obst");
+  cs::CordonService svc({.batch_window = std::chrono::microseconds(20000)});
+  std::vector<std::future<ce::SolveResult>> futs;
+  std::vector<double> want;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ce::Instance inst = solver.generate({80, 4, seed});
+    want.push_back(solver.solve(inst).objective);
+    futs.push_back(svc.submit(inst));
+  }
+  svc.shutdown();  // must complete every admitted future
+  svc.shutdown();  // idempotent
+  for (std::size_t i = 0; i < futs.size(); ++i)
+    expect_objective_near(futs[i].get().objective, want[i], "drained");
+  EXPECT_THROW((void)svc.submit(solver.generate({10, 4, 9})),
+               std::runtime_error);
+  // Rejection must not depend on cache contents: a workload that WOULD
+  // hit the cache is refused identically.
+  EXPECT_THROW((void)svc.submit(solver.generate({80, 4, 1})),
+               std::runtime_error);
+}
+
+TEST(CordonService, CacheEvictionKeepsSizeBounded) {
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+  cs::CordonService svc({.cache_capacity = 4, .cache_shards = 2});
+  for (std::uint64_t seed = 1; seed <= 12; ++seed)
+    (void)svc.submit(solver.generate({60, 4, seed})).get();
+
+  EXPECT_LE(svc.cache_size(), 4u);
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache.insertions, 12u);
+  EXPECT_GE(stats.cache.evictions, 8u);
+}
+
+TEST(CordonService, CacheCanBeDisabled) {
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+  ce::Instance inst = solver.generate({100, 4, 2});
+  cs::CordonService svc({.cache_capacity = 0});
+  double a = svc.submit(inst).get().objective;
+  double b = svc.submit(inst).get().objective;  // re-solved, not cached
+  EXPECT_EQ(a, b);
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.solver.requests, 2u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, 0u);
+  EXPECT_EQ(svc.cache_size(), 0u);
+}
+
+TEST(CordonService, QueueStatsCoverEveryQueuedRequest) {
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+  cs::CordonService svc;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    (void)svc.submit(solver.generate({50, 4, seed})).get();
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.queue.enqueued, 5u);  // all distinct -> all queued
+  EXPECT_GE(stats.queue.max_wait_s, stats.queue.mean_wait_s());
+  EXPECT_EQ(stats.batches, 5u);  // sequential get() forces one per batch
+  EXPECT_EQ(stats.largest_batch, 1u);
+}
+
+// --- CordonService: concurrent clients, oracle-checked ----------------------
+
+TEST(CordonService, ConcurrentClientsGetOracleCheckedResults) {
+  const auto& reg = ce::builtin_registry();
+
+  // One distinct instance per registered family (derived from the
+  // registry so new families are covered automatically); expected
+  // objectives from the naive oracles, computed up front.
+  std::vector<ce::Instance> pool;
+  std::vector<double> want;
+  for (const auto& solver : reg.solvers()) {
+    ce::Instance inst = solver->generate({60, 4, 17});
+    want.push_back(solver->solve_reference(inst).objective);
+    pool.push_back(std::move(inst));
+  }
+
+  constexpr std::size_t kClients = 6;  // acceptance floor is 4
+  constexpr std::size_t kRequestsPerClient = 36;
+  cs::CordonService svc({.max_batch = 16,
+                         .batch_window = std::chrono::microseconds(200)});
+
+  std::vector<std::vector<std::pair<std::size_t, std::future<ce::SolveResult>>>>
+      per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+        std::size_t idx = (c * kRequestsPerClient + r) % pool.size();
+        per_client[c].emplace_back(idx, svc.submit(pool[idx]));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::size_t checked = 0;
+  for (auto& futs : per_client) {
+    for (auto& [idx, fut] : futs) {
+      expect_objective_near(fut.get().objective, want[idx],
+                            "client request for " + pool[idx].kind);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, kClients * kRequestsPerClient);
+
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.completed, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.failed, 0u);
+  // 216 requests over 9 distinct workloads: the sharded cache plus
+  // in-batch coalescing must collapse almost everything.
+  EXPECT_EQ(stats.solver.requests, pool.size());
+  EXPECT_GE(stats.cache.hits + stats.coalesced,
+            kClients * kRequestsPerClient - pool.size());
+}

@@ -1,16 +1,28 @@
-// Shared helpers for the test suite: seeded random inputs and the cost
-// families used across GLWS / GAP / Tree-GLWS tests.
+// Shared helpers for the test suite: seeded random inputs, the cost
+// families used across GLWS / GAP / Tree-GLWS tests, and the objective
+// comparison tolerance used by the engine/service oracle checks.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/glws/glws.hpp"
 #include "src/parallel/random.hpp"
 
 namespace cordon::testing {
+
+/// Objectives are doubles accumulated in different orders by the
+/// optimized and oracle algorithms: compare with a relative tolerance.
+inline void expect_objective_near(double got, double want,
+                                  const std::string& what) {
+  double tol = 1e-6 * std::max(1.0, std::abs(want));
+  EXPECT_NEAR(got, want, tol) << what;
+}
 
 inline std::vector<std::uint64_t> random_values(std::size_t n,
                                                 std::uint64_t seed,
