@@ -1,0 +1,85 @@
+// Park/wake microbench for the scheduler: (a) wake latency — the cost
+// of dispatching a fork burst onto a fully parked pool versus a hot
+// one, and (b) the idle-CPU gate — with the pool started and no work
+// submitted, process CPU over a 1-second window must stay under 5% of
+// one core.  (b) doubles as a smoke test: the binary exits non-zero on
+// violation, so CI enforces the "idle workers park" contract.
+//
+//   CORDON_BENCH_REPS — wake-latency sample count (default 200)
+//   CORDON_BENCH_JSON — append machine-readable records
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/parallel/scheduler.hpp"
+
+namespace {
+
+// One fork burst wide enough that every worker gets a reason to wake.
+void burst() {
+  std::atomic<std::uint64_t> sink{0};
+  cordon::parallel::parallel_for(
+      0, 4 * cordon::parallel::num_workers(),
+      [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); },
+      /*granularity=*/1, /*granularity_floor=*/1);
+}
+
+double median_us(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2] * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cordon;
+
+  const std::size_t reps = bench::env_size("CORDON_BENCH_REPS", 200);
+  parallel::ensure_started();
+  burst();  // fault in all worker threads
+
+  bench::print_header("scheduler park/wake (idle CPU + wake latency)",
+                      "metric                 value");
+  bench::JsonEmitter json("bench_sched_wake");
+
+  // --- wake latency: parked pool vs hot pool --------------------------------
+  std::vector<double> cold_s, hot_s;
+  cold_s.reserve(reps);
+  hot_s.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    // 5ms of quiet exceeds the bounded spin phase: every worker parks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cold_s.push_back(bench::time_s(burst));
+    hot_s.push_back(bench::time_s(burst));  // immediately after: all awake
+  }
+  double cold_med = median_us(cold_s), hot_med = median_us(hot_s);
+  std::printf("wake latency (cold)  %8.1f us   median over %zu bursts\n",
+              cold_med, reps);
+  std::printf("burst cost (hot)     %8.1f us   same burst, workers awake\n",
+              hot_med);
+  std::printf("park/unpark overhead %8.1f us\n", cold_med - hot_med);
+
+  // --- idle-CPU gate --------------------------------------------------------
+  double best_frac = bench::measure_idle_cpu_fraction();
+  std::printf("idle CPU             %8.2f %% of one core over 1s (gate: <%g%%)\n",
+              best_frac * 100.0, bench::kIdleCpuGateFraction * 100.0);
+
+  json.record({{"metric", "wake_latency"},
+               {"cold_median_s", cold_med * 1e-6},
+               {"hot_median_s", hot_med * 1e-6},
+               {"reps", reps}});
+  json.record({{"metric", "idle_cpu"},
+               {"idle_cpu_fraction", best_frac},
+               {"gate", bench::kIdleCpuGateFraction}});
+
+  if (best_frac >= bench::kIdleCpuGateFraction) {
+    std::printf("IDLE-CPU GATE FAILED — workers are spinning, not parking\n");
+    return 1;
+  }
+  return 0;
+}

@@ -11,13 +11,16 @@
 // one binary per figure as the paper's harness does.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <type_traits>
 
 #include "src/core/dp_stats.hpp"
@@ -31,6 +34,41 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
     if (v > 0) return static_cast<std::size_t>(v);
   }
   return fallback;
+}
+
+/// The scheduler's idle-CPU contract, gated in CI by bench_sched_wake
+/// and test_scheduler_stress: with the pool started and no submitted
+/// work, process CPU must stay under this fraction of one core.
+inline constexpr double kIdleCpuGateFraction = 0.05;
+
+/// CPU seconds consumed by this process (all threads).
+inline double process_cpu_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Best (lowest) idle-CPU fraction of one core observed over up to
+/// `attempts` one-second windows, each preceded by a settle period that
+/// outlives every spin phase so all workers park.  Returns early once a
+/// window passes the gate; retrying tolerates background hiccups on
+/// loaded CI machines, while a genuine spin loop fails every attempt by
+/// an order of magnitude.
+inline double measure_idle_cpu_fraction(int attempts = 3) {
+  double best = 1e9;
+  for (int attempt = 0; attempt < attempts && best >= kIdleCpuGateFraction;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    double cpu0 = process_cpu_s();
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    double cpu = process_cpu_s() - cpu0;
+    double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    best = std::min(best, cpu / wall);
+  }
+  return best;
 }
 
 /// Wall-clock seconds of fn().

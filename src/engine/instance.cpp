@@ -55,9 +55,30 @@ CostSpec::Family CostSpec::family_from_name(const std::string& name) {
   throw std::invalid_argument("unknown cost family '" + name + "'");
 }
 
+// --- declared-size hardening ------------------------------------------------
+
+void check_declared_size(std::uint64_t value, const char* what) {
+  if (value > kMaxDeclaredSize)
+    throw std::invalid_argument(
+        std::string("instance rejected: ") + what + " = " +
+        std::to_string(value) + " exceeds the declared-size cap " +
+        std::to_string(kMaxDeclaredSize));
+}
+
 // --- DagInstance ------------------------------------------------------------
 
 core::DpDag DagInstance::build() const {
+  // Validate before the first proportional allocation: build() runs at
+  // solve time, so a hostile in-memory instance (which never went
+  // through the parser's caps) fails the request instead of the process.
+  check_declared_size(n, "dag states");
+  for (auto& [state, value] : boundary) {
+    (void)value;
+    if (state >= n)
+      throw std::invalid_argument("dag boundary state " +
+                                  std::to_string(state) + " out of range [0, " +
+                                  std::to_string(n) + ")");
+  }
   core::DpDag dag(n, objective);
   for (auto& [state, value] : boundary) dag.set_boundary(state, value);
   for (const Edge& e : edges) {
@@ -124,10 +145,24 @@ T parse_scalar(Line& line) {
   return v;
 }
 
+// Scalar that declares an allocation size downstream: parse + cap.
+std::uint64_t parse_size(Line& line, const char* what) {
+  auto v = parse_scalar<std::uint64_t>(line);
+  check_declared_size(v, what);
+  return v;
+}
+
 template <typename T>
 void parse_append(Line& line, std::vector<T>& out) {
   T v{};
-  while (line.rest >> v) out.push_back(v);
+  while (line.rest >> v) {
+    // Same std::invalid_argument as every other cap violation, so
+    // callers can classify hostile payloads by one exception type.
+    if (out.size() >= kMaxDeclaredSize)
+      check_declared_size(out.size() + 1,
+                          (line.key + " element count").c_str());
+    out.push_back(v);
+  }
   if (!line.rest.eof())
     throw std::runtime_error("instance parse: bad element in '" + line.key +
                              "' list");
@@ -188,7 +223,7 @@ Payload parse_payload(std::istream& in, const std::string& kind) {
     GlwsInstance p;
     read_body(in, kind, [&](Line& l) {
       if (l.key == "n")
-        p.n = parse_scalar<std::uint64_t>(l);
+        p.n = parse_size(l, "glws n");
       else if (l.key == "d0")
         p.d0 = parse_scalar<double>(l);
       else if (l.key == "cost")
@@ -202,9 +237,9 @@ Payload parse_payload(std::istream& in, const std::string& kind) {
     KglwsInstance p;
     read_body(in, kind, [&](Line& l) {
       if (l.key == "n")
-        p.n = parse_scalar<std::uint64_t>(l);
+        p.n = parse_size(l, "kglws n");
       else if (l.key == "k")
-        p.k = parse_scalar<std::uint64_t>(l);
+        p.k = parse_size(l, "kglws k");
       else if (l.key == "cost")
         p.cost = parse_cost(l);
       else
@@ -257,7 +292,7 @@ Payload parse_payload(std::istream& in, const std::string& kind) {
     DagInstance p;
     read_body(in, kind, [&](Line& l) {
       if (l.key == "states") {
-        p.n = parse_scalar<std::uint64_t>(l);
+        p.n = parse_size(l, "dag states");
       } else if (l.key == "objective") {
         auto word = parse_scalar<std::string>(l);
         if (word == "min")

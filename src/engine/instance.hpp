@@ -107,6 +107,22 @@ using Payload =
                  GapInstance, OatInstance, ObstInstance, TreeGlwsInstance,
                  DagInstance>;
 
+// --- declared-size hardening ------------------------------------------------
+//
+// Some payloads *declare* their size as a scalar (glws/kglws `n`, dag
+// `states`) and solvers allocate proportionally, so a malformed or
+// hostile input could request petabytes with a 20-byte payload.  Every
+// declared size and element count is capped: the parser rejects
+// oversized declarations up front, and solve-time validation
+// (DagInstance::build, the glws/kglws adapters) rejects oversized
+// in-memory instances, so a hostile submit() surfaces as a failed
+// future instead of OOM-ing the process.
+inline constexpr std::uint64_t kMaxDeclaredSize = 1ull << 27;  // 134M states
+
+/// Throws std::invalid_argument when a declared size/element count
+/// exceeds kMaxDeclaredSize.  `what` names the field for the message.
+void check_declared_size(std::uint64_t value, const char* what);
+
 /// A problem instance: the registry key of the solver that understands it
 /// plus the kind-specific payload.
 struct Instance {

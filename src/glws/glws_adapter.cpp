@@ -17,7 +17,7 @@ class GlwsSolver final : public Solver {
   }
 
   [[nodiscard]] SolveResult solve(const Instance& inst) const override {
-    const auto& p = inst.as<GlwsInstance>();
+    const auto& p = validate(inst);
     auto r = glws::glws_parallel(p.n, p.d0, p.cost.make(), glws::identity_e(),
                                  p.cost.shape());
     return pack(p, r);
@@ -25,7 +25,7 @@ class GlwsSolver final : public Solver {
 
   [[nodiscard]] SolveResult solve_reference(
       const Instance& inst) const override {
-    const auto& p = inst.as<GlwsInstance>();
+    const auto& p = validate(inst);
     auto r = glws::glws_naive(p.n, p.d0, p.cost.make(), glws::identity_e());
     return pack(p, r);
   }
@@ -39,6 +39,14 @@ class GlwsSolver final : public Solver {
   }
 
  private:
+  static const GlwsInstance& validate(const Instance& inst) {
+    // The solver allocates O(n) from the *declared* n, so cap it here:
+    // a hostile submit() fails this one request, not the process.
+    const auto& p = inst.as<GlwsInstance>();
+    check_declared_size(p.n, "glws n");
+    return p;
+  }
+
   static SolveResult pack(const GlwsInstance& p, const glws::GlwsResult& r) {
     SolveResult out;
     out.objective = r.d.empty() ? p.d0 : r.d.back();

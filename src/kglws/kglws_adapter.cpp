@@ -43,6 +43,7 @@ class KglwsSolver final : public Solver {
  private:
   static const KglwsInstance& validate(const Instance& inst) {
     const auto& p = inst.as<KglwsInstance>();
+    check_declared_size(p.n, "kglws n");  // solver allocates O(n) per layer
     if (p.cost.shape() != glws::Shape::kConvex)
       throw std::invalid_argument("kglws requires a convex cost family");
     if (p.k == 0 || p.k > p.n)

@@ -9,77 +9,43 @@
 #include <thread>
 #include <vector>
 
+#include "src/parallel/event_count.hpp"
+#include "src/parallel/work_deque.hpp"
+
 namespace cordon::parallel {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Chase-Lev work-stealing deque (Lê et al., "Correct and Efficient
-// Work-Stealing for Weak Memory Models", PPoPP'13).  The owner pushes and
-// pops at the bottom; thieves steal from the top.  Capacity is fixed: the
-// number of outstanding jobs per worker is bounded by the fork recursion
-// depth, which for all algorithms here is O(log n + log #workers).
-// ---------------------------------------------------------------------------
-class Deque {
- public:
-  static constexpr std::size_t kCapacity = 1u << 16;
+using Deque = WorkDeque<detail::Job>;
 
-  bool push(detail::Job* job) {
-    std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
-    // Release on the slot itself (not just the fence): the thief's
-    // acquire load of the same slot then carries the job's plain fields
-    // with it — this is what lets ThreadSanitizer verify the handoff.
-    buffer_[static_cast<std::size_t>(b) & kMask].store(
-        job, std::memory_order_release);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
-    return true;
+// Pause instruction for spin phases: cheaper than yield(), tells the
+// core (and SMT sibling) the thread is busy-waiting.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Exponential spin backoff: ~2^min(step,6) pauses, then a yield per
+// round once the budget is mostly burnt.
+inline void spin_backoff(int step) noexcept {
+  if (step > 16) {
+    std::this_thread::yield();
+    return;
   }
+  int pauses = 1 << (step < 6 ? step : 6);
+  for (int i = 0; i < pauses; ++i) cpu_relax();
+}
 
-  detail::Job* pop() {
-    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
-    if (t > b) {  // empty
-      bottom_.store(b + 1, std::memory_order_relaxed);
-      return nullptr;
-    }
-    detail::Job* job =
-        buffer_[static_cast<std::size_t>(b) & kMask].load(
-            std::memory_order_relaxed);
-    if (t == b) {  // last element: race with thieves
-      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                        std::memory_order_relaxed)) {
-        job = nullptr;  // lost the race
-      }
-      bottom_.store(b + 1, std::memory_order_relaxed);
-    }
-    return job;
-  }
-
-  detail::Job* steal() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t b = bottom_.load(std::memory_order_acquire);
-    if (t >= b) return nullptr;
-    detail::Job* job =
-        buffer_[static_cast<std::size_t>(t) & kMask].load(
-            std::memory_order_acquire);
-    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_relaxed)) {
-      return nullptr;  // lost to another thief or the owner
-    }
-    return job;
-  }
-
- private:
-  static constexpr std::size_t kMask = kCapacity - 1;
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
-  std::vector<std::atomic<detail::Job*>> buffer_{kCapacity};
-};
+// Failed steal sweeps an idle worker performs before parking, and a
+// join-waiter performs before parking on its job's completion.  Big
+// enough that a wake->more-work burst never pays the park/unpark cost,
+// small enough that a quiet pool reaches zero CPU within ~100us.
+constexpr int kIdleSpinSweeps = 48;
+constexpr int kJoinSpinSweeps = 48;
 
 struct Pool {
   // Reserved deque slots for adopted external threads (ExternalWorkerScope):
@@ -92,19 +58,42 @@ struct Pool {
   std::array<std::atomic<bool>, kMaxExternal> external_claimed{};
   std::atomic<bool> shutting_down{false};
   std::size_t n = 1;
+  std::uint64_t generation = 0;  // stamp for worker identities
+
+  // Park/wake protocol state.  Idle workers and join-waiters both park
+  // on `sleepers`; `join_parked` counts the join-waiters among them so
+  // job completion can skip the wake when nobody waits on a join.
+  EventCount sleepers;
+  std::atomic<std::uint64_t> join_parked{0};
 
   Pool(std::size_t workers, bool adopt_caller);
   ~Pool();
 
+  void stop();
+
   [[nodiscard]] std::size_t slots() const { return n + kMaxExternal; }
 
   detail::Job* try_steal(std::size_t self, std::uint64_t& rng);
+  [[nodiscard]] bool any_work(std::size_t self) const;
+  void run_job(detail::Job* job);
   void worker_loop(std::size_t id);
 };
 
 thread_local std::size_t t_worker_id = 0;
 thread_local bool t_is_worker = false;
 thread_local bool t_sequential = false;
+// Which pool incarnation the thread-local worker identity belongs to.
+// After detail::shutdown_pool a surviving thread's (id, is_worker) pair
+// would otherwise alias a deque owned by a thread of the NEXT pool —
+// two "owners" on one Chase-Lev deque is undefined — so every identity
+// is stamped with the generation that issued it, and push_job/adoption
+// compare the stamp against the generation of the pool they actually
+// obtained.  A thread with a stale stamp is an outsider again: its
+// forks run inline until it re-registers (creates the next pool
+// itself, or adopts an external slot).
+thread_local std::uint64_t t_worker_generation = 0;
+
+std::atomic<std::uint64_t> g_pool_counter{0};  // generation allocator
 
 std::size_t configured_workers() {
   if (const char* env = std::getenv("CORDON_NUM_THREADS")) {
@@ -115,8 +104,37 @@ std::size_t configured_workers() {
   return hc == 0 ? 1 : hc;
 }
 
-Pool* g_pool = nullptr;
-std::once_flag g_pool_once;
+std::size_t configured_deque_capacity() {
+  // Test/tuning hook: tiny capacities force the push-overflow fallback
+  // (par_do runs the right branch inline), which test_deque_overflow
+  // uses to prove overflow degrades to sequential execution instead of
+  // losing work.
+  if (const char* env = std::getenv("CORDON_DEQUE_CAPACITY")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return Deque::kDefaultCapacity;
+}
+
+// The pool is created lazily by the first fork (or ensure_started) and
+// lives until process exit — except under detail::shutdown_pool(),
+// which destroys it (joining every worker, parked or not) and lets the
+// next fork start a fresh one.  A mutex instead of call_once makes that
+// restart possible.
+std::mutex g_pool_mu;
+std::atomic<Pool*> g_pool{nullptr};
+
+Pool& pool(bool adopt_caller = true) {
+  Pool* p = g_pool.load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  p = g_pool.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    p = new Pool(configured_workers(), adopt_caller);
+    g_pool.store(p, std::memory_order_release);
+  }
+  return *p;
+}
 
 std::uint64_t next_rand(std::uint64_t& s) {
   s ^= s << 13;
@@ -126,15 +144,18 @@ std::uint64_t next_rand(std::uint64_t& s) {
 }
 
 Pool::Pool(std::size_t workers, bool adopt_caller) : n(workers) {
+  generation = g_pool_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t deque_capacity = configured_deque_capacity();
   deques.reserve(slots());
   for (std::size_t i = 0; i < slots(); ++i)
-    deques.push_back(std::make_unique<Deque>());
+    deques.push_back(std::make_unique<Deque>(deque_capacity));
   std::size_t first_spawned = 1;
   if (adopt_caller) {
     // Worker 0 is the thread that created the pool (typically main);
     // spawn the remaining n-1 threads.
     t_worker_id = 0;
     t_is_worker = true;
+    t_worker_generation = generation;
   } else {
     // Bootstrapped from a transient external thread (e.g. a service
     // dispatcher adopting a slot): conscripting it as worker 0 would
@@ -148,9 +169,18 @@ Pool::Pool(std::size_t workers, bool adopt_caller) : n(workers) {
   }
 }
 
-Pool::~Pool() {
-  shutting_down.store(true, std::memory_order_release);
+Pool::~Pool() { stop(); }
+
+void Pool::stop() {
+  // Publish the flag, then wake every parked worker so it can observe
+  // it.  A worker racing toward commit_wait is safe too: its pre-sleep
+  // re-check loads shutting_down after registering as a waiter, so
+  // either it sees the flag (and exits) or notify_all sees the waiter
+  // (and wakes it) — the same Dekker argument the work path uses.
+  shutting_down.store(true, std::memory_order_seq_cst);
+  sleepers.notify_all();
   for (auto& t : threads) t.join();
+  threads.clear();
 }
 
 detail::Job* Pool::try_steal(std::size_t self, std::uint64_t& rng) {
@@ -164,28 +194,60 @@ detail::Job* Pool::try_steal(std::size_t self, std::uint64_t& rng) {
   return nullptr;
 }
 
+bool Pool::any_work(std::size_t self) const {
+  for (std::size_t i = 0; i < slots(); ++i) {
+    if (i == self) continue;
+    if (deques[i]->maybe_nonempty()) return true;
+  }
+  return false;
+}
+
+void Pool::run_job(detail::Job* job) {
+  job->run();
+  // A join-waiter may be parked on this job's completion flag.  The
+  // fence orders run()'s done-store before the counter read (producer
+  // half of the store-buffer argument against wait_for's park path);
+  // when nobody is join-parked — the overwhelmingly common case — the
+  // cost is this fence plus one load.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (join_parked.load(std::memory_order_seq_cst) > 0) sleepers.notify_all();
+}
+
 void Pool::worker_loop(std::size_t id) {
   t_worker_id = id;
   t_is_worker = true;
+  t_worker_generation = generation;
   std::uint64_t rng = 0x9e3779b97f4a7c15ull * (id + 1) + 1;
-  std::size_t idle_spins = 0;
   while (!shutting_down.load(std::memory_order_acquire)) {
     detail::Job* job = deques[id]->pop();
     if (job == nullptr) job = try_steal(id, rng);
     if (job != nullptr) {
-      job->run();
-      idle_spins = 0;
-    } else if (++idle_spins > 256) {
-      std::this_thread::yield();
+      run_job(job);
+      continue;
     }
+    // Bounded spin phase: a burst that re-arrives right after the queue
+    // drained is picked up without a park/unpark round-trip.
+    for (int spin = 0; spin < kIdleSpinSweeps && job == nullptr; ++spin) {
+      if (shutting_down.load(std::memory_order_acquire)) return;
+      spin_backoff(spin);
+      job = try_steal(id, rng);
+    }
+    if (job != nullptr) {
+      run_job(job);
+      continue;
+    }
+    // Park.  prepare / re-check / commit: after registering as a waiter
+    // we re-scan every deque (and the shutdown flag); any push we miss
+    // here must itself see our registration and wake us (EventCount's
+    // Dekker guarantee), so no wakeup can be lost and an idle pool
+    // burns no CPU at all.
+    std::uint64_t key = sleepers.prepare_wait();
+    if (shutting_down.load(std::memory_order_seq_cst) || any_work(id)) {
+      sleepers.cancel_wait();
+      continue;
+    }
+    sleepers.commit_wait(key);
   }
-}
-
-Pool& pool(bool adopt_caller = true) {
-  std::call_once(g_pool_once, [adopt_caller] {
-    g_pool = new Pool(configured_workers(), adopt_caller);
-  });
-  return *g_pool;
 }
 
 }  // namespace
@@ -194,7 +256,20 @@ namespace detail {
 
 bool push_job(Job* job) {
   if (!t_is_worker) return false;
-  return pool().deques[t_worker_id]->push(job);
+  Pool& p = pool();
+  // A stale identity (this pool incarnation did not issue it) must not
+  // touch a deque some current thread owns: run inline instead.  The
+  // check is against the pool we actually obtained, so a concurrent
+  // restart by another thread cannot slip a fresh pool under a stale
+  // id between check and push.
+  if (t_worker_generation != p.generation) return false;
+  if (p.shutting_down.load(std::memory_order_acquire)) return false;
+  if (!p.deques[t_worker_id]->push(job)) return false;  // full: run inline
+  // Publish-then-wake: the push above is the publication, so a parked
+  // worker (or join-waiter) can now take the job.  No-op in one fence +
+  // one load when nobody is parked.
+  p.sleepers.notify_one();
+  return true;
 }
 
 Job* pop_job() { return pool().deques[t_worker_id]->pop(); }
@@ -202,14 +277,43 @@ Job* pop_job() { return pool().deques[t_worker_id]->pop(); }
 void wait_for(Job* job) {
   Pool& p = pool();
   std::uint64_t rng = 0xdeadbeefcafef00dull + t_worker_id;
+  int idle_sweeps = 0;
   while (!job->done.load(std::memory_order_acquire)) {
+    // Helping: run other jobs so nested joins cannot deadlock.
     Job* other = p.deques[t_worker_id]->pop();
     if (other == nullptr) other = p.try_steal(t_worker_id, rng);
     if (other != nullptr) {
-      other->run();
-    } else {
-      std::this_thread::yield();
+      p.run_job(other);
+      idle_sweeps = 0;
+      continue;
     }
+    if (idle_sweeps < kJoinSpinSweeps) {
+      // Exponential backoff before parking: joins usually resolve in
+      // microseconds (the thief finishes the stolen branch).
+      spin_backoff(idle_sweeps++);
+      continue;
+    }
+    // Park on the job's completion flag.  Progress does not depend on
+    // this thread: whoever stole the job can finish the whole subtree
+    // alone (its own pops always succeed), so sleeping here is safe.
+    // The waiter registers in join_parked AFTER prepare_wait: run_job's
+    // completion path reads join_parked behind a seq_cst fence, so if
+    // it misses our registration we must see the done flag in the
+    // re-check below, and if it sees us it must also see our sleepers
+    // registration and bump the epoch (see EventCount).  New pushes
+    // wake us too (notify_one), so a parked join-waiter resumes
+    // helping when work appears.
+    std::uint64_t key = p.sleepers.prepare_wait();
+    p.join_parked.fetch_add(1, std::memory_order_seq_cst);
+    if (job->done.load(std::memory_order_seq_cst) ||
+        p.any_work(t_worker_id)) {
+      p.join_parked.fetch_sub(1, std::memory_order_seq_cst);
+      p.sleepers.cancel_wait();
+    } else {
+      p.sleepers.commit_wait(key);
+      p.join_parked.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    idle_sweeps = 0;
   }
 }
 
@@ -217,16 +321,24 @@ bool in_sequential_region() noexcept { return t_sequential; }
 void set_sequential_region(bool on) noexcept { t_sequential = on; }
 
 bool adopt_external_worker() {
-  if (t_is_worker) return false;  // already a worker (pool or adopted)
   // If the pool does not exist yet, start it WITHOUT becoming worker 0
   // (this thread may be transient); fall through to claim a slot.
   Pool& p = pool(/*adopt_caller=*/false);
+  // Already a worker (pool or adopted) of THIS pool incarnation; a
+  // stale identity from a pre-shutdown_pool incarnation is void and the
+  // thread may re-adopt.
+  if (t_is_worker && t_worker_generation == p.generation) return false;
+  if (p.shutting_down.load(std::memory_order_acquire)) return false;
   for (std::size_t i = 0; i < Pool::kMaxExternal; ++i) {
     bool expected = false;
     if (p.external_claimed[i].compare_exchange_strong(
             expected, true, std::memory_order_acq_rel)) {
       t_worker_id = p.n + i;
       t_is_worker = true;
+      t_worker_generation = p.generation;
+      // The adopter is about to publish forks onto a fresh deque: give
+      // a parked worker a head start on stealing them.
+      p.sleepers.notify_one();
       return true;
     }
   }
@@ -240,6 +352,18 @@ void release_external_worker() {
   t_is_worker = false;
   t_worker_id = 0;
   p.external_claimed[slot].store(false, std::memory_order_release);
+}
+
+void shutdown_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  Pool* p = g_pool.exchange(nullptr, std::memory_order_acq_rel);
+  if (p == nullptr) return;
+  delete p;  // ~Pool: set shutting_down, wake every parked worker, join
+  // Thread-local worker ids on surviving threads (e.g. the thread that
+  // was worker 0) become void: they carry the dead pool's generation
+  // stamp, so push_job treats their owners as outsiders (forks run
+  // inline) unless the thread itself creates the next pool — which
+  // re-registers it as worker 0 — or adopts an external slot.
 }
 
 }  // namespace detail

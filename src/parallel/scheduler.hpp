@@ -25,6 +25,29 @@
 // which gives them a deque of their own so their forks are stealable and
 // they help steal while joining — this is what lets an asynchronous
 // front-end drive the same nested fork-join substrate as main().
+//
+// Threading contract (park/wake protocol).  Workers never busy-wait
+// indefinitely: a worker that finds no work runs a bounded spin+steal
+// phase, then parks on a shared eventcount; a join-waiter in wait_for
+// helps (steals and runs other jobs), backs off exponentially, and
+// finally parks on the target job's completion flag.  Every site that
+// publishes work — detail::push_job on the fork path, external-slot
+// adoption, and (transitively) the service dispatcher's batch dispatch
+// — wakes a sleeper after publishing, using the eventcount's
+// prepare/re-check/commit sequence so no wakeup can be lost between a
+// failed steal sweep and parking (see event_count.hpp for the
+// store-buffer argument).  Consequences callers may rely on:
+//   * An idle pool consumes no CPU: with no outstanding work every
+//     worker is parked in the OS (asserted by test_scheduler_stress and
+//     measured by bench_sched_wake).
+//   * Wake latency is bounded by one condvar round-trip; work bursts
+//     arriving within the spin window skip the park entirely.
+//   * Destroying the pool (or detail::shutdown_pool) wakes every
+//     parked worker and joins it; parked workers never block shutdown.
+// Per-worker deques have a fixed capacity (CORDON_DEQUE_CAPACITY,
+// default 2^16); a full deque makes push_job return false and par_do
+// run the right branch inline, so overflow degrades to sequential
+// execution instead of losing work.
 #pragma once
 
 #include <atomic>
@@ -66,6 +89,14 @@ void set_sequential_region(bool on) noexcept;
 // thread is already a worker or every slot is taken.
 bool adopt_external_worker();
 void release_external_worker();
+
+// Stops the pool: wakes every parked worker, joins all pool threads,
+// and destroys the pool object.  The pool must be quiescent (no forks
+// in flight, no live ExternalWorkerScope).  The next fork lazily
+// creates a fresh pool.  Exists for embedders that must reclaim the
+// worker threads and for shutdown-ordering tests; a no-op when the
+// pool was never started.
+void shutdown_pool();
 
 }  // namespace detail
 

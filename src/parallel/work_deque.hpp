@@ -1,0 +1,110 @@
+// Chase-Lev work-stealing deque (Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP'13).  The owner pushes
+// and pops at the bottom; thieves steal from the top.
+//
+// Capacity is fixed at construction (rounded up to a power of two): the
+// number of outstanding jobs per worker is bounded by the fork recursion
+// depth, which for all algorithms here is O(log n + log #workers), so the
+// default never fills in practice.  push() returns false when the deque
+// IS full, and the caller must then run the job inline — par_do does
+// exactly that, so overflow degrades to sequential execution instead of
+// losing work (test_deque_overflow forces this path).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cordon::parallel {
+
+template <typename T>
+class WorkDeque {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit WorkDeque(std::size_t capacity = kDefaultCapacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        buffer_(capacity_) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Owner only.  False when full: the caller must run `item` inline.
+  bool push(T* item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(capacity_)) return false;
+    // Release on the slot itself (not just the fence): the thief's
+    // acquire load of the same slot then carries the job's plain fields
+    // with it — this is what lets ThreadSanitizer verify the handoff.
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner only.  Most recently pushed item, or nullptr if empty or the
+  /// last item was lost to a thief.
+  T* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {  // last element: race with thieves
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // lost the race
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread.  Oldest item, or nullptr (empty / lost the race).
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    T* item = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost to another thief or the owner
+    }
+    return item;
+  }
+
+  /// Racy emptiness probe for the park protocol's pre-sleep re-check: a
+  /// true result may already be stale, but a false result is safe to act
+  /// on *if* the caller ordered this load after registering as a waiter
+  /// (see EventCount) — any push that this probe misses will then see
+  /// the registered waiter and wake it.
+  [[nodiscard]] bool maybe_nonempty() const noexcept {
+    return bottom_.load(std::memory_order_acquire) >
+           top_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 2;  // minimum: pop()'s b-1 arithmetic needs >= 2 slots
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<T*>> buffer_;
+};
+
+}  // namespace cordon::parallel

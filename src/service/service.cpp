@@ -103,6 +103,18 @@ void CordonService::dispatch_loop() {
 
     // Batching window: dispatch when the batch is full or the oldest
     // request has waited long enough (shutdown flushes immediately).
+    //
+    // Flush-latency contract (test: RequestsNeverWaitASecondBatchWindow):
+    // no request ever waits a second full window.  A request that
+    // arrives while we sleep in wait_until below is either already in
+    // queue_ when we re-acquire the lock after the timeout — so it
+    // rides this very flush — or it missed this batch entirely, in
+    // which case the next loop iteration computes a fresh deadline from
+    // that request's OWN enqueue time (and if the dispatcher was busy
+    // in run_batch meanwhile, that deadline is already partly or fully
+    // elapsed, so wait_until returns immediately).  The one deadline
+    // per batch therefore bounds every request's queue wait by
+    // batch_window plus the batch ahead of it, never 2x the window.
     auto deadline = queue_.front().enqueued + opt_.batch_window;
     while (!stopping_ && queue_.size() < opt_.max_batch &&
            cv_.wait_until(lock, deadline) != std::cv_status::timeout) {

@@ -50,7 +50,9 @@ struct ServiceOptions {
   /// Largest batch handed to the executor in one dispatch.
   std::size_t max_batch = 64;
   /// How long the dispatcher lets the oldest pending request wait for
-  /// company before dispatching a partial batch.
+  /// company before dispatching a partial batch.  Upper-bounds every
+  /// request's queue wait at one window (plus the batch executing ahead
+  /// of it) — a request can never be skipped into a second window.
   std::chrono::microseconds batch_window{500};
   /// Total result-cache entries across all shards; 0 disables caching.
   std::size_t cache_capacity = 4096;

@@ -1,0 +1,62 @@
+// Deque-overflow regression: with a deliberately tiny per-worker deque
+// (CORDON_DEQUE_CAPACITY=2, set in main before the pool exists), deep
+// fork recursion overflows the deque almost immediately.  Deque::push
+// then returns false and par_do must run the right branch inline —
+// correct results with zero lost work, just less parallelism.  Before
+// capacity was surfaced, this fallback path was untestable: the default
+// 2^16 capacity can never fill at O(log n) fork depth.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cp = cordon::parallel;
+
+TEST(DequeOverflow, DeepRecursionOverflowsIntoInlineExecution) {
+  // Depth 12 => up to 12 outstanding pushes per worker against a
+  // capacity of 2: virtually every fork beyond the first two overflows.
+  std::atomic<std::uint64_t> leaves{0};
+  struct Rec {
+    static void go(std::atomic<std::uint64_t>& s, int depth) {
+      if (depth == 0) {
+        s.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      cp::par_do([&] { go(s, depth - 1); }, [&] { go(s, depth - 1); });
+    }
+  };
+  Rec::go(leaves, 12);
+  EXPECT_EQ(leaves.load(), 1u << 12);
+}
+
+TEST(DequeOverflow, ParallelForCoversRangeExactlyOnceDespiteOverflow) {
+  const std::size_t n = 50000;
+  std::vector<std::atomic<int>> hits(n);
+  cp::parallel_for(0, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  }, /*granularity=*/8, /*granularity_floor=*/1);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(DequeOverflow, RepeatedBurstsStayCorrect) {
+  // Overflow + park/wake interleaved: each burst drains completely.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    cp::parallel_for(0, 4096, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }, /*granularity=*/4, /*granularity_floor=*/1);
+    ASSERT_EQ(sum.load(), 4096ull * 4095ull / 2ull) << "round " << round;
+  }
+}
+
+int main(int argc, char** argv) {
+  // Must precede lazy pool creation: the capacity is read once, when
+  // the pool constructs its deques.
+  setenv("CORDON_DEQUE_CAPACITY", "2", /*overwrite=*/1);
+  setenv("CORDON_NUM_THREADS", "4", /*overwrite=*/0);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

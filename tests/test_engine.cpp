@@ -210,6 +210,57 @@ TEST(InstanceFormat, RejectsGarbage) {
                std::runtime_error);
 }
 
+TEST(InstanceFormat, DeclaredSizeCapsRejectHostilePayloads) {
+  // A few bytes of text must not be able to request petabytes: declared
+  // sizes are capped at parse time (kMaxDeclaredSize)...
+  const std::string huge = std::to_string(ce::kMaxDeclaredSize + 1);
+  EXPECT_THROW((void)ce::from_string("cordon-instance v1 glws\nn " + huge +
+                                     "\ncost affine 1 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ce::from_string("cordon-instance v1 kglws\nn " + huge +
+                                     "\nk 2\ncost affine 1 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ce::from_string("cordon-instance v1 kglws\nn 10\nk " +
+                                     huge + "\ncost affine 1 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ce::from_string("cordon-instance v1 dag\nstates " + huge +
+                                     "\nend\n"),
+               std::invalid_argument);
+  // ...values at the cap parse fine (the cap is a ceiling, not a shrink).
+  ce::Instance ok = ce::from_string("cordon-instance v1 glws\nn 64\n"
+                                    "cost affine 1 1\nend\n");
+  EXPECT_EQ(ok.as<ce::GlwsInstance>().n, 64u);
+}
+
+TEST(Engine, HostileInMemoryInstancesFailTheSolveNotTheProcess) {
+  // Payloads built directly (never parsed) are validated at solve time,
+  // so through the service they surface as a failed future, not an OOM.
+  const auto& reg = ce::builtin_registry();
+  ce::GlwsInstance glws;
+  glws.n = ce::kMaxDeclaredSize + 1;
+  EXPECT_THROW((void)reg.at("glws").solve({"glws", glws}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.at("glws").solve_reference({"glws", glws}),
+               std::invalid_argument);
+
+  ce::KglwsInstance kglws;
+  kglws.n = ce::kMaxDeclaredSize + 1;
+  kglws.k = 2;
+  EXPECT_THROW((void)reg.at("kglws").solve({"kglws", kglws}),
+               std::invalid_argument);
+
+  ce::DagInstance dag;
+  dag.n = ce::kMaxDeclaredSize + 1;
+  EXPECT_THROW((void)reg.at("dag").solve({"dag", dag}), std::invalid_argument);
+
+  // Out-of-range boundary states are caught before DpDag sees them.
+  ce::DagInstance bad_boundary;
+  bad_boundary.n = 3;
+  bad_boundary.boundary.emplace_back(7, 0.0);
+  EXPECT_THROW((void)reg.at("dag").solve({"dag", bad_boundary}),
+               std::invalid_argument);
+}
+
 TEST(InstanceFormat, CommentsBlankLinesAndWrappedVectorsParse) {
   ce::Instance inst = ce::from_string(
       "# a hand-written workload\n"

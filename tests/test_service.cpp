@@ -225,6 +225,75 @@ TEST(CordonService, QueueStatsCoverEveryQueuedRequest) {
   EXPECT_EQ(stats.largest_batch, 1u);
 }
 
+// --- CordonService: dispatcher flush latency --------------------------------
+
+TEST(CordonService, RequestsNeverWaitASecondBatchWindow) {
+  // Regression guard for the batching window's edge: the dispatcher
+  // computes one deadline per batch from the oldest request, and a
+  // request that arrives as cv_.wait_until expires either joins the
+  // batch being taken (it is already in queue_ when the dispatcher
+  // re-acquires mu_) or becomes the front of the next cycle with a
+  // fresh deadline from ITS OWN enqueue time.  Either way no request
+  // can wait two full windows.  The bounds below are slack-tolerant
+  // (1.8 windows) but far below the 2+ windows the bug would cost.
+  using clk = std::chrono::steady_clock;
+  const auto window = std::chrono::milliseconds(250);
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+
+  cs::CordonService svc({.max_batch = 64,
+                         .batch_window = window,
+                         .cache_capacity = 0});
+  // Warm-up: pool started, code paths faulted in (not timed).
+  (void)svc.submit(solver.generate({40, 4, 1})).get();
+
+  // A lone request flushes after one window, not two.
+  auto t0 = clk::now();
+  (void)svc.submit(solver.generate({40, 4, 2})).get();
+  auto lone = clk::now() - t0;
+  EXPECT_LT(lone, window * 18 / 10)
+      << "lone request took "
+      << std::chrono::duration<double>(lone).count() << "s";
+
+  // A request arriving late in an open window: completes within its own
+  // window (riding the first flush or opening the next batch), never a
+  // second full window after ITS arrival.
+  auto early = svc.submit(solver.generate({40, 4, 3}));
+  std::this_thread::sleep_for(window * 8 / 10);
+  auto t1 = clk::now();
+  (void)svc.submit(solver.generate({40, 4, 4})).get();
+  auto late = clk::now() - t1;
+  (void)early.get();
+  EXPECT_LT(late, window * 18 / 10)
+      << "late-window request took "
+      << std::chrono::duration<double>(late).count() << "s";
+}
+
+// --- CordonService: hostile payloads ----------------------------------------
+
+TEST(CordonService, HostileDeclaredSizesFailTheFutureNotTheProcess) {
+  // A submit() whose payload declares an absurd size must cost one
+  // failed future, not the whole process's memory (the canonical text
+  // of such a payload is tiny — only the solver's allocation would
+  // explode, and solve-time validation stops it first).
+  cs::CordonService svc;
+  ce::GlwsInstance glws;
+  glws.n = ce::kMaxDeclaredSize + 1;
+  EXPECT_THROW(svc.submit({"glws", glws}).get(), std::runtime_error);
+
+  ce::DagInstance dag;
+  dag.n = ce::kMaxDeclaredSize + 1;
+  EXPECT_THROW(svc.submit({"dag", dag}).get(), std::runtime_error);
+
+  // The service survives and keeps serving good requests.
+  const ce::Solver& solver = ce::builtin_registry().at("lis");
+  ce::Instance good = solver.generate({100, 4, 5});
+  expect_objective_near(svc.submit(good).get().objective,
+                        solver.solve(good).objective, "after hostile submit");
+  cs::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
 // --- CordonService: concurrent clients, oracle-checked ----------------------
 
 TEST(CordonService, ConcurrentClientsGetOracleCheckedResults) {
