@@ -27,6 +27,7 @@ int main() {
       "Figure 7: parallel convex GLWS (post office), time vs k",
       "open_cost   k        ours(s)   ours-1t(s)  seq(s)    verified "
       " counters");
+  bench::JsonEmitter json("bench_fig7_glws");
 
   // Sweep opening cost downward: smaller cost => more offices (larger k).
   for (double open = 1e9; open >= 1e1; open /= 100.0) {
@@ -48,6 +49,16 @@ int main() {
                 seq, ok ? "yes" : "MISMATCH");
     bench::print_stats_suffix(par_res.stats);
     std::printf("\n");
+    json.record({{"series", "ours"},
+                 {"n", n},
+                 {"k", k},
+                 {"seconds", par},
+                 {"one_thread_s", one},
+                 {"sequential_s", seq},
+                 {"verified", ok ? 1 : 0},
+                 {"states", par_res.stats.states},
+                 {"relaxations", par_res.stats.relaxations},
+                 {"rounds", par_res.stats.rounds}});
   }
   std::printf(
       "\nShape check (paper): sequential time ~flat in k (O(n log n) work); "

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the Release bench suite and consolidates every bench's
+# machine-readable records (CORDON_BENCH_JSON JSON-lines) into one
+# trajectory file, so successive PRs can prove speedups against the
+# committed baseline (BENCH_PR5.json at the repo root is the first one).
+#
+# Usage:
+#   scripts/run_benches.sh [build-dir] [output.json]
+#
+# Environment:
+#   CORDON_BENCH_N       problem size for every bench (default: per bench;
+#                        set small, e.g. 20000, for a CI smoke)
+#   CORDON_BENCH_BATCH   engine-batch queue length
+#   CORDON_NUM_THREADS   worker threads
+#   BENCHES              space-separated override of the bench list
+#
+# The build dir must have been configured with -DCORDON_BUILD_BENCH=ON
+# (Release recommended: cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+#  -DCORDON_BUILD_BENCH=ON).
+set -euo pipefail
+
+BUILD_DIR="${1:-build-bench}"
+OUT="${2:-BENCH_PR5.json}"
+
+# The perf-relevant set: the engine/service hot paths plus every family
+# bench that emits JSON records.
+BENCHES="${BENCHES:-bench_engine_batch bench_fig7_glws bench_fig6_lcs bench_service}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' not found" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release -DCORDON_BUILD_BENCH=ON" >&2
+  echo "  cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Metadata header so trajectories from different machines are never
+# compared silently.
+{
+  printf '{"bench":"meta","host":"%s","threads":"%s","n":"%s","date":"%s","git":"%s"}\n' \
+    "$(uname -m)" \
+    "${CORDON_NUM_THREADS:-auto}" \
+    "${CORDON_BENCH_N:-default}" \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+} > "$tmp"
+
+for bench in $BENCHES; do
+  bin="$BUILD_DIR/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "warning: $bin missing (configure with -DCORDON_BUILD_BENCH=ON); skipping" >&2
+    continue
+  fi
+  echo "== $bench =="
+  CORDON_BENCH_JSON="$tmp" "$bin"
+done
+
+mv "$tmp" "$OUT"
+trap - EXIT
+echo
+echo "wrote $(wc -l < "$OUT") records to $OUT"

@@ -1,0 +1,234 @@
+// Per-worker bump-pointer arenas: the zero-allocation substrate of every
+// solve hot path.
+//
+// The problem this solves: each cordon round of every family solver needs
+// O(frontier) scratch (sentinel flags, probe windows, tentative frontiers)
+// and the steady state of a serving process runs millions of rounds —
+// re-allocating that scratch from the global allocator each round turns
+// the paper's span bounds into malloc-bound wall clock.  An `Arena` is a
+// chunked bump allocator: allocation is a pointer bump, "free" is
+// rewinding the bump mark, and the chunk memory is retained forever, so
+// after the first few rounds of warm-up a round allocates nothing.
+//
+// Ownership model.  `worker_arena()` hands every thread its own arena:
+//   * threads holding a live scheduler worker identity — pool workers AND
+//     `ExternalWorkerScope` adopters — share a fixed registry indexed by
+//     `parallel::worker_id()` (one slot per deque slot, cache-line
+//     padded), so the arena warm-up survives across jobs, batches, and
+//     pool restarts;
+//   * outsider threads fall back to a `thread_local` arena that dies with
+//     the thread.
+// A worker slot is owned by exactly one live thread at a time (the
+// scheduler's join / slot-CAS is the handoff synchronization), so arenas
+// are deliberately NOT thread-safe: all operations are plain stores.
+// Memory handed out by make_span may be read and written by other
+// threads (parallel_for bodies fill spans owned by the forking thread);
+// only allocate/rewind must stay on the owning thread.
+//
+// Nesting discipline.  `ArenaScope` is a LIFO epoch: it records the bump
+// mark and rewinds to it on destruction.  Scopes compose across the
+// scheduler's helping (a worker that steals a job inside wait_for runs it
+// to completion before resuming, so the inner job's scope closes before
+// the outer one's next allocation), which is what lets nested solvers —
+// BatchExecutor -> family solver -> per-round scratch — share one arena
+// without coordination.  Never hold a span across the end of the scope
+// that allocated it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/parallel/scheduler.hpp"
+
+namespace cordon::core {
+
+class Arena {
+ public:
+  /// First chunk size; later chunks double (up to kMaxChunkBytes) so a
+  /// solver with a big working set settles into one chunk quickly.
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 26;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A bump position; only meaningful with the arena that produced it.
+  struct Mark {
+    std::uint32_t chunk = 0;
+    std::size_t offset = 0;
+  };
+
+  [[nodiscard]] Mark mark() const noexcept { return {cur_, off_}; }
+
+  /// Pops every allocation made since `m` (LIFO).  Never releases chunk
+  /// memory — that is the point: the next epoch re-bumps over warm pages.
+  void rewind(Mark m) noexcept {
+    cur_ = m.chunk;
+    off_ = m.offset;
+  }
+
+  void reset() noexcept { rewind({0, 0}); }
+
+  /// Raw allocation: `bytes` with at least `align` alignment.  O(1); the
+  /// slow path (new chunk) runs only while the arena grows toward its
+  /// high-water mark.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    while (cur_ < chunks_.size()) {
+      Chunk& c = chunks_[cur_];
+      std::uintptr_t base = reinterpret_cast<std::uintptr_t>(c.data.get());
+      std::uintptr_t p = (base + off_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+      if (p + bytes <= base + c.size) {
+        off_ = static_cast<std::size_t>(p + bytes - base);
+        return reinterpret_cast<void*>(p);
+      }
+      // Chunk exhausted (or too small for this request): move on.  The
+      // skipped tail is reclaimed by the next rewind below this mark.
+      ++cur_;
+      off_ = 0;
+    }
+    std::size_t want = chunks_.empty() ? kDefaultChunkBytes
+                                       : std::min(chunks_.back().size * 2,
+                                                  kMaxChunkBytes);
+    if (want < bytes + align) want = bytes + align;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want});
+    cur_ = static_cast<std::uint32_t>(chunks_.size() - 1);
+    off_ = 0;
+    return allocate(bytes, align);
+  }
+
+  /// Uninitialized scratch span of `n` trivially-destructible Ts.  The
+  /// caller fills it (or uses the filling overload); nothing is ever
+  /// destroyed, which is why non-trivial types are rejected at compile
+  /// time.
+  template <typename T>
+  [[nodiscard]] std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena spans hold trivial scratch only");
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    return {p, n};
+  }
+
+  /// Scratch span with every element set to `fill`.
+  template <typename T>
+  [[nodiscard]] std::span<T> make_span(std::size_t n, T fill) {
+    std::span<T> s = make_span<T>(n);
+    for (T& v : s) v = fill;
+    return s;
+  }
+
+  /// Bytes currently reserved across all chunks (the retained high-water
+  /// footprint — it never shrinks, by design).
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  /// Bytes live between the start and the current bump position.
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cur_ && i < chunks_.size(); ++i)
+      total += chunks_[i].size;
+    return total + off_;
+  }
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::uint32_t cur_ = 0;   // chunk the bump pointer lives in
+  std::size_t off_ = 0;     // bump offset within chunks_[cur_]
+};
+
+/// LIFO epoch guard: rewinds the arena to the mark taken at construction.
+/// One scope per solve, one nested scope per round, is the house pattern:
+/// round N+1 re-bumps over round N's memory instead of freeing it.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a) noexcept : arena_(a), mark_(a.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  [[nodiscard]] Arena& arena() noexcept { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+namespace detail {
+
+// Cache-line padded so two workers bumping adjacent slots never share a
+// line.  128 covers the spatial prefetcher pairing on x86.
+struct alignas(128) ArenaSlot {
+  Arena arena;
+};
+
+}  // namespace detail
+
+/// The calling thread's scratch arena (see the ownership model above).
+/// Never throws once the registry exists; the registry itself is sized
+/// once — num_workers() + kMaxExternalWorkers slots — and intentionally
+/// leaked so pool threads alive at process exit cannot race its
+/// destructor.  Pool restarts reuse the same slots (no growth, no leak).
+inline Arena& worker_arena() {
+  if (parallel::is_worker_thread()) {
+    static std::vector<detail::ArenaSlot>& slots =
+        *new std::vector<detail::ArenaSlot>(parallel::worker_slots());
+    return slots[parallel::worker_id()].arena;
+  }
+  // Outsider (never forked, or stale after a pool restart): a private
+  // arena that lives and dies with the thread.
+  thread_local Arena local;
+  return local;
+}
+
+/// Allocator adapter so standard containers can do their transient work
+/// (batch assembly, group indices) inside an arena epoch: `allocate` is a
+/// bump, `deallocate` is a no-op (the owning ArenaScope rewind reclaims
+/// everything at once).  Containers using it must not outlive the scope.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& a) noexcept : arena_(&a) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena_) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena_;
+  }
+
+  Arena* arena_;
+};
+
+/// Vector whose backing store lives in an arena epoch.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace cordon::core

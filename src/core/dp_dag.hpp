@@ -31,15 +31,34 @@ class DpDag {
     std::uint32_t dst;
     Transition f;
     bool effective = true;  // does the optimized sequential algorithm process it?
+    bool affine = false;    // true iff f(x) == x + weight (weight below)
+    double weight = 0;      // meaningful only when affine
   };
 
   DpDag(std::size_t n, Objective obj) : n_(n), objective_(obj) {}
 
   void add_edge(std::uint32_t src, std::uint32_t dst, Transition f,
                 bool effective = true) {
-    if (src >= dst) throw std::invalid_argument("DpDag: src must be < dst");
-    if (dst >= n_) throw std::invalid_argument("DpDag: state out of range");
-    edges_.push_back({src, dst, std::move(f), effective});
+    check_edge(src, dst);
+    edges_.push_back({src, dst, std::move(f), effective, false, 0.0});
+  }
+
+  /// Affine transition f(x) = x + weight, recorded as data rather than
+  /// code.  When EVERY edge is affine (all_affine()), ExplicitCordon runs
+  /// its vectorized SoA path — gathered min-plus kernels over contiguous
+  /// weight arrays — instead of calling one std::function per edge.
+  void add_affine_edge(std::uint32_t src, std::uint32_t dst, double weight,
+                       bool effective = true) {
+    check_edge(src, dst);
+    edges_.push_back({src, dst,
+                      [weight](double x) { return x + weight; }, effective,
+                      true, weight});
+    ++affine_edges_;
+  }
+
+  /// True when every edge was added through add_affine_edge.
+  [[nodiscard]] bool all_affine() const noexcept {
+    return affine_edges_ == edges_.size();
   }
 
   void set_boundary(std::uint32_t state, double value) {
@@ -98,9 +117,15 @@ class DpDag {
   }
 
  private:
+  void check_edge(std::uint32_t src, std::uint32_t dst) const {
+    if (src >= dst) throw std::invalid_argument("DpDag: src must be < dst");
+    if (dst >= n_) throw std::invalid_argument("DpDag: state out of range");
+  }
+
   std::size_t n_;
   Objective objective_;
   std::vector<Edge> edges_;
+  std::size_t affine_edges_ = 0;
   std::vector<std::pair<std::uint32_t, double>> boundary_;
 };
 

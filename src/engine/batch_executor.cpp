@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 
+#include "src/core/arena.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::engine {
@@ -29,7 +30,7 @@ BatchItem solve_one(const ProblemRegistry& reg, const Instance& inst,
 
 }  // namespace
 
-BatchReport BatchExecutor::run(const std::vector<Instance>& queue,
+BatchReport BatchExecutor::run(std::span<const Instance> queue,
                                const BatchOptions& opt) const {
   // Callers are often not pool workers (the service dispatcher, client
   // threads): adopt an external worker slot so the fan-out below forks
@@ -40,31 +41,49 @@ BatchReport BatchExecutor::run(const std::vector<Instance>& queue,
   BatchReport report;
   report.items.resize(queue.size());
 
+  // Per-worker stat accumulators (cache-line padded, arena-backed): each
+  // body merges its request's counters into its own worker's slot as it
+  // finishes, and the slots fold into the report with one operator+= per
+  // worker — no per-item pass over the batch afterwards, no shared
+  // counter in the loop.  Slot ownership is the scheduler's worker-id
+  // contract: at most one thread per id at any moment, and the
+  // parallel_for join orders every slot write before the merge below.
+  struct alignas(64) StatSlot {
+    core::BatchStats stats;
+    std::size_t failed = 0;
+  };
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  std::span<StatSlot> slots = arena.make_span<StatSlot>(parallel::worker_slots());
+  for (StatSlot& s : slots) s = StatSlot{};
+
+  auto solve_into = [&](std::size_t i) {
+    BatchItem& item = report.items[i];
+    item = solve_one(*registry_, queue[i], opt.use_reference);
+    StatSlot& s = slots[parallel::worker_id()];
+    if (item.ok)
+      s.stats.add(item.result.stats, item.latency_s,
+                  item.result.effective_depth);
+    else
+      ++s.failed;
+  };
+
   auto t0 = std::chrono::steady_clock::now();
   if (opt.parallel) {
     // Instances are expensive bodies: granularity 1, no floor, so even a
     // two-element queue forks.  Intra-instance parallelism nests below
     // this loop on the same scheduler.
-    parallel::parallel_for(
-        0, queue.size(),
-        [&](std::size_t i) {
-          report.items[i] = solve_one(*registry_, queue[i], opt.use_reference);
-        },
-        /*granularity=*/1, /*granularity_floor=*/1);
+    parallel::parallel_for(0, queue.size(), solve_into,
+                           /*granularity=*/1, /*granularity_floor=*/1);
   } else {
-    for (std::size_t i = 0; i < queue.size(); ++i)
-      report.items[i] = solve_one(*registry_, queue[i], opt.use_reference);
+    for (std::size_t i = 0; i < queue.size(); ++i) solve_into(i);
   }
   auto t1 = std::chrono::steady_clock::now();
   report.wall_s = std::chrono::duration<double>(t1 - t0).count();
 
-  for (const BatchItem& item : report.items) {
-    if (!item.ok) {
-      ++report.failed;
-      continue;
-    }
-    report.stats.add(item.result.stats, item.latency_s,
-                     item.result.effective_depth);
+  for (const StatSlot& s : slots) {
+    report.stats += s.stats;
+    report.failed += s.failed;
   }
   return report;
 }

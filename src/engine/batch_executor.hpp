@@ -17,6 +17,7 @@
 // service::CordonService.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,7 +60,9 @@ class BatchExecutor {
   explicit BatchExecutor(const ProblemRegistry& reg = builtin_registry())
       : registry_(&reg) {}
 
-  [[nodiscard]] BatchReport run(const std::vector<Instance>& queue,
+  /// Accepts any contiguous Instance sequence (std::vector converts
+  /// implicitly; the service hands in an arena-backed vector).
+  [[nodiscard]] BatchReport run(std::span<const Instance> queue,
                                 const BatchOptions& opt = {}) const;
 
  private:

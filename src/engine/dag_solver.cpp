@@ -62,6 +62,7 @@ class DagSolver final : public Solver {
     p.n = std::max<std::uint64_t>(opt.n, 2);
     p.objective = core::Objective::kMin;
     p.boundary.emplace_back(0, 0.0);
+    p.edges.reserve(2 * p.n);  // in-degree is uniform on [1, 3]
     for (std::uint32_t v = 1; v < p.n; ++v) {
       auto in_degree =
           1 + parallel::uniform(opt.seed ^ 0xd6e8feb8u, v, 3);

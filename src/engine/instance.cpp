@@ -1,11 +1,13 @@
 #include "src/engine/instance.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <streambuf>
+#include <string_view>
 
 namespace cordon::engine {
 
@@ -81,11 +83,10 @@ core::DpDag DagInstance::build() const {
   }
   core::DpDag dag(n, objective);
   for (auto& [state, value] : boundary) dag.set_boundary(state, value);
-  for (const Edge& e : edges) {
-    double w = e.weight;
-    dag.add_edge(
-        e.src, e.dst, [w](double x) { return x + w; }, e.effective);
-  }
+  // Affine edges as data: with every edge affine the ExplicitCordon
+  // solves this DAG through its vectorized CSR path.
+  for (const Edge& e : edges)
+    dag.add_affine_edge(e.src, e.dst, e.weight, e.effective);
   return dag;
 }
 
@@ -154,6 +155,33 @@ std::uint64_t parse_size(Line& line, const char* what) {
 
 template <typename T>
 void parse_append(Line& line, std::vector<T>& out) {
+  // Reserve for exactly the tokens on this line before appending: long
+  // vectors arrive as many wrapped lines, and growing by push_back alone
+  // re-copies the accumulated prefix on every reallocation.  One
+  // whitespace scan over the remaining tail is far cheaper than that.
+  {
+    std::string_view tail = line.rest.view();
+    tail.remove_prefix(std::min<std::size_t>(
+        tail.size(),
+        static_cast<std::size_t>(std::max<std::streamoff>(
+            0, static_cast<std::streamoff>(line.rest.tellg())))));
+    std::size_t tokens = 0;
+    bool in_token = false;
+    for (char c : tail) {
+      bool ws = c == ' ' || c == '\t' || c == '\r' || c == '\n';
+      tokens += !ws && !in_token;
+      in_token = !ws;
+    }
+    // Geometric floor so a reserve per wrapped line cannot degrade the
+    // amortized growth into one reallocation per line; clamped to the
+    // declared-size cap so a hostile line with billions of tokens
+    // cannot force an over-cap allocation before the per-element check
+    // below rejects it.
+    std::size_t need = std::min<std::size_t>(out.size() + tokens,
+                                             kMaxDeclaredSize);
+    if (need > out.capacity())
+      out.reserve(std::max(need, out.capacity() * 2));
+  }
   T v{};
   while (line.rest >> v) {
     // Same std::invalid_argument as every other cap violation, so
@@ -418,6 +446,44 @@ std::uint64_t instance_hash(const Instance& inst) {
   std::ostream out(&buf);
   serialize_instance(inst, out);
   return buf.hash();
+}
+
+namespace {
+
+// Sink appending to a caller-owned string (capacity reused across calls).
+class AppendBuf final : public std::streambuf {
+ public:
+  explicit AppendBuf(std::string& out) : out_(out) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) out_.push_back(static_cast<char>(ch));
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  std::string& out_;
+};
+
+}  // namespace
+
+void canonical_text_into(const Instance& inst, std::string& out) {
+  out.clear();
+  AppendBuf buf(out);
+  std::ostream os(&buf);
+  serialize_instance(inst, os);
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (char c : bytes)
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  return hash;
 }
 
 InstanceKey canonical_key(const Instance& inst) {

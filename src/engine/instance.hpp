@@ -16,6 +16,7 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -165,6 +166,18 @@ struct InstanceKey {
 
 /// Canonical text plus its hash (one serialization pass).
 [[nodiscard]] InstanceKey canonical_key(const Instance& inst);
+
+/// Serializes the canonical text into `out` (cleared first), reusing its
+/// capacity — the zero-allocation-when-warm form of to_string.  The
+/// service's submit path serializes each instance exactly once into a
+/// reused buffer, hashes the bytes with fnv1a64, and compares candidate
+/// cache keys by memcmp against the same buffer.
+void canonical_text_into(const Instance& inst, std::string& out);
+
+/// FNV-1a 64 over raw bytes — the same function instance_hash streams
+/// through the serializer, exposed so a materialized canonical text
+/// hashes to the identical value.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
 
 // --- text round-trip --------------------------------------------------------
 //

@@ -23,7 +23,10 @@
 // relax states that are themselves outside every window.
 #include <atomic>
 #include <limits>
+#include <span>
+#include <utility>
 
+#include "src/core/arena.hpp"
 #include "src/gap/gap.hpp"
 #include "src/glws/envelope_tools.hpp"
 #include "src/parallel/primitives.hpp"
@@ -80,7 +83,21 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
   };
 
   std::vector<BestDecisionList> row_b(n + 1), col_b(m + 1);
-  std::vector<std::size_t> front(n + 1, 0), colfront(m + 1, 0);
+  // Per-row/-column merge temporaries, hoisted so every round's envelope
+  // splice reuses warm SoA capacity instead of allocating three fresh
+  // arrays per row (safe in the parallel loops below: row i / column j
+  // only ever touches its own slot).
+  std::vector<BestDecisionList> row_tmp(n + 1), col_tmp(m + 1);
+
+  // Whole-run and per-round dense scratch comes from the worker's arena:
+  // each round rewinds to `round_mark` instead of freeing, so the steady
+  // state of the round loop performs no heap allocation for any of the
+  // cap / window / front bookkeeping below.
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  std::span<std::size_t> front = arena.make_span<std::size_t>(n + 1, std::size_t{0});
+  std::span<std::size_t> new_front = arena.make_span<std::size_t>(n + 1, std::size_t{0});
+  std::span<std::size_t> colfront = arena.make_span<std::size_t>(m + 1, std::size_t{0});
   front[0] = 1;  // (0,0) is the boundary state
   colfront[0] = 1;
   if (m >= 1) row_b[0].assign({{1, m, 0}});
@@ -94,30 +111,45 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
 
   while (!done()) {
     stats.add_round();
-    std::vector<std::atomic<std::size_t>> cap(n + 1);
-    for (auto& c : cap) c.store(m + 1, std::memory_order_relaxed);
-    std::vector<std::size_t> checked(n + 1);
+    core::ArenaScope round_scope(arena);
+    // Relaxed atomic caps over a plain arena span via atomic_ref — the
+    // CAS loop below is the only cross-thread access.
+    std::span<std::size_t> cap =
+        arena.make_span<std::size_t>(n + 1, m + 1);
+    std::span<std::size_t> checked = arena.make_span<std::size_t>(n + 1);
     for (std::size_t i = 0; i <= n; ++i)
       checked[i] = front[i] == 0 ? 0 : front[i] - 1;
     // checked[i] = last probed column (front[i]-1 means "none yet").
     // Special case front[i]==0: use a sentinel meaning none probed.
-    std::vector<bool> none_checked(n + 1);
-    for (std::size_t i = 0; i <= n; ++i) none_checked[i] = true;
+    std::span<std::uint8_t> none_checked =
+        arena.make_span<std::uint8_t>(n + 1, std::uint8_t{1});
+    // Per-substep probe windows, refilled each substep.  (A plain struct:
+    // std::pair's user-provided assignment makes it non-trivial, which
+    // the arena rejects.)
+    struct Window {
+      std::size_t lo, hi;
+    };
+    std::span<Window> span = arena.make_span<Window>(n + 1);
 
     auto lower_cap = [&](std::size_t row, std::size_t col) {
-      std::size_t cur = cap[row].load(std::memory_order_relaxed);
-      while (col < cur && !cap[row].compare_exchange_weak(
-                              cur, col, std::memory_order_relaxed)) {
+      std::atomic_ref<std::size_t> c(cap[row]);
+      std::size_t cur = c.load(std::memory_order_relaxed);
+      while (col < cur &&
+             !c.compare_exchange_weak(cur, col, std::memory_order_relaxed)) {
       }
+    };
+    auto load_cap = [&](std::size_t row) {
+      return std::atomic_ref<std::size_t>(cap[row])
+          .load(std::memory_order_relaxed);
     };
 
     for (std::size_t t = 1;; ++t) {
       // Probe windows: row i extends to front[i] + 2^t - 2, clamped by
       // its cap and the grid.
       bool any = false;
-      std::vector<std::pair<std::size_t, std::size_t>> span(n + 1, {1, 0});
+      for (std::size_t i = 0; i <= n; ++i) span[i] = {1, 0};
       for (std::size_t i = 0; i <= n; ++i) {
-        std::size_t c = cap[i].load(std::memory_order_relaxed);
+        std::size_t c = load_cap(i);
         if (front[i] > m || c <= front[i]) continue;
         std::size_t lo = none_checked[i] ? front[i] : checked[i] + 1;
         std::size_t hi =
@@ -131,10 +163,19 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
       parallel::parallel_for(0, n + 1, [&](std::size_t i) {
         auto [lo, hi] = span[i];
         if (lo > hi) return;
-        auto reval = row_eval(i);
+        // Body-local counting: one atomic flush per probed window
+        // instead of a locked RMW per cost evaluation (the probe loop
+        // is the bulk of all relaxations).
+        std::uint64_t local_relax = 0;
+        auto reval = [&](std::size_t jp, std::size_t j) {
+          ++local_relax;
+          return g.get(i, jp) + w2(jp, j);
+        };
         for (std::size_t j = lo; j <= hi; ++j) {
-          stats.add_states(1);
-          auto ceval = col_eval(j);
+          auto ceval = [&](std::size_t ip, std::size_t ii) {
+            ++local_relax;
+            return g.get(ip, j) + w1(ip, ii);
+          };
           double v = kInf;
           std::size_t rb = row_b[i].best_of(j);
           if (rb != kNone) v = std::min(v, reval(rb, j));
@@ -185,29 +226,27 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
             lower_cap(i + 1, j);
           }
         }
+        stats.add_states(hi - lo + 1);
+        stats.add_relaxations(local_relax);
       });
 
       // Staircase clamp: sentinel (x, y) blocks every row below at
-      // column y and beyond.
+      // column y and beyond.  (Sequential: the parallel_for above joined,
+      // so plain accesses are ordered after every CAS.)
       for (std::size_t i = 1; i <= n; ++i) {
-        std::size_t above = cap[i - 1].load(std::memory_order_relaxed);
-        std::size_t cur = cap[i].load(std::memory_order_relaxed);
-        if (above < cur) cap[i].store(above, std::memory_order_relaxed);
+        if (cap[i - 1] < cap[i]) cap[i] = cap[i - 1];
       }
       for (std::size_t i = 0; i <= n; ++i) {
         auto [lo, hi] = span[i];
         if (lo > hi) continue;
         checked[i] = hi;
-        none_checked[i] = false;
+        none_checked[i] = 0;
       }
     }
 
     // Finalize [front[i], cap[i]) per row and rebuild envelopes.
-    std::vector<std::size_t> new_front(n + 1);
-    for (std::size_t i = 0; i <= n; ++i) {
-      std::size_t c = cap[i].load(std::memory_order_relaxed);
-      new_front[i] = std::max(front[i], std::min(c, m + 1));
-    }
+    for (std::size_t i = 0; i <= n; ++i)
+      new_front[i] = std::max(front[i], std::min(cap[i], m + 1));
 
     // Row envelopes.
     parallel::parallel_for(0, n + 1, [&](std::size_t i) {
@@ -221,10 +260,11 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
       std::vector<DecisionInterval> fresh = glws::coalesce(
           glws::find_intervals(reval, dlo, f1 - 1, f1, m, convex));
       if (row_b[i].empty()) {
-        row_b[i].assign(std::move(fresh));
+        row_b[i].assign(fresh);
       } else {
         row_b[i].advance_to(f1);
-        BestDecisionList bnew{std::move(fresh)};
+        BestDecisionList& bnew = row_tmp[i];
+        bnew.assign(fresh);
         row_b[i].assign(glws::coalesce(
             glws::merge_envelopes(row_b[i], bnew, reval, f1, m, convex)));
       }
@@ -253,16 +293,17 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
       std::vector<DecisionInterval> fresh = glws::coalesce(
           glws::find_intervals(ceval, c0, c1 - 1, c1, n, convex));
       if (col_b[j].empty()) {
-        col_b[j].assign(std::move(fresh));
+        col_b[j].assign(fresh);
       } else {
         col_b[j].advance_to(c1);
-        BestDecisionList bnew{std::move(fresh)};
+        BestDecisionList& bnew = col_tmp[j];
+        bnew.assign(fresh);
         col_b[j].assign(glws::coalesce(
             glws::merge_envelopes(col_b[j], bnew, ceval, c1, n, convex)));
       }
     });
 
-    front = std::move(new_front);
+    std::swap(front, new_front);  // new_front is fully rewritten next round
   }
 
   res.d = std::move(g.d);

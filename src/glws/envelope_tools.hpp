@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/kernels.hpp"
 #include "src/parallel/scheduler.hpp"
 #include "src/structures/best_decision_list.hpp"
 
@@ -37,10 +38,11 @@ std::size_t argmin_decision(const Eval& eval, std::size_t jl, std::size_t jr,
   };
   constexpr std::size_t kSeq = 1024;
   if (jr - jl <= kSeq) {
-    Cand best{eval(jl, im), jl};
-    for (std::size_t j = jl + 1; j <= jr; ++j)
-      best = pick(best, {eval(j, im), j});
-    return best.j;
+    // Branchless single-pass kernels; tie direction picks the variant.
+    auto value = [&](std::size_t j) { return eval(j, im); };
+    return prefer_larger_j
+               ? core::kernels::argmin_transform_last(jl, jr + 1, value).index
+               : core::kernels::argmin_transform(jl, jr + 1, value).index;
   }
   std::size_t mid = jl + (jr - jl) / 2;
   std::size_t a = 0, b = 0;
@@ -111,27 +113,28 @@ std::vector<DecisionInterval> merge_envelopes(const BestDecisionList& bold,
   std::vector<DecisionInterval> merged;
   auto splice = [&](std::size_t new_lo, std::size_t new_hi, bool new_first) {
     // new decisions serve [new_lo, new_hi]; old ones serve the rest.
-    auto append_clipped = [&](const std::vector<DecisionInterval>& src,
-                              std::size_t a, std::size_t b) {
+    auto append_clipped = [&](const BestDecisionList& src, std::size_t a,
+                              std::size_t b) {
       if (a > b) return;
-      for (const auto& t : src) {
-        if (t.r < a || t.l > b) continue;
-        merged.push_back({std::max(t.l, a), std::min(t.r, b), t.j});
+      for (std::size_t t = 0; t < src.size(); ++t) {
+        if (src.triple_r(t) < a || src.triple_l(t) > b) continue;
+        merged.push_back({std::max(src.triple_l(t), a),
+                          std::min(src.triple_r(t), b), src.triple_j(t)});
       }
     };
     if (new_first) {
-      append_clipped(bnew.triples(), new_lo, new_hi);
-      if (new_hi < hi) append_clipped(bold.triples(), new_hi + 1, hi);
+      append_clipped(bnew, new_lo, new_hi);
+      if (new_hi < hi) append_clipped(bold, new_hi + 1, hi);
     } else {
-      if (new_lo > lo) append_clipped(bold.triples(), lo, new_lo - 1);
-      append_clipped(bnew.triples(), new_lo, new_hi);
+      if (new_lo > lo) append_clipped(bold, lo, new_lo - 1);
+      append_clipped(bnew, new_lo, new_hi);
     }
   };
 
   if (!convex) {
     // Concave: new wins on a prefix.
-    if (!new_wins(lo)) return bold.triples();
-    if (new_wins(hi)) return bnew.triples();
+    if (!new_wins(lo)) return bold.to_triples();
+    if (new_wins(hi)) return bnew.to_triples();
     std::size_t a = lo, b = hi;  // wins at a, loses at b
     while (a + 1 < b) {
       std::size_t mid = a + (b - a) / 2;
@@ -143,8 +146,8 @@ std::vector<DecisionInterval> merge_envelopes(const BestDecisionList& bold,
     splice(lo, a, /*new_first=*/true);
   } else {
     // Convex: new wins on a suffix.
-    if (!new_wins(hi)) return bold.triples();
-    if (new_wins(lo)) return bnew.triples();
+    if (!new_wins(hi)) return bold.to_triples();
+    if (new_wins(lo)) return bnew.to_triples();
     std::size_t a = lo, b = hi;  // loses at a, wins at b
     while (a + 1 < b) {
       std::size_t mid = a + (b - a) / 2;

@@ -17,7 +17,9 @@
 // shared with the GAP algorithm (Sec. 5.2).
 #include <atomic>
 #include <limits>
+#include <span>
 
+#include "src/core/arena.hpp"
 #include "src/glws/envelope_tools.hpp"
 #include "src/glws/glws.hpp"
 #include "src/parallel/primitives.hpp"
@@ -33,11 +35,15 @@ constexpr std::size_t kNone = BestDecisionList::kNone;
 
 // FindCordon (Alg. 1 lines 7-18): prefix-doubling probe for the leftmost
 // sentinel after `now`.  Returns cordon in (now+1, n+1].
-template <typename Eval>
+//
+// The probe body counts relaxations in a body-local integer and flushes
+// once per state: the shared AtomicDpStats costs a locked RMW per
+// add, which at one increment per cost evaluation was a measurable
+// fraction of the whole round.
 std::size_t find_cordon(std::size_t n, std::size_t now,
                         const BestDecisionList& b, bool convex,
-                        const Eval& eval, std::vector<double>& d,
-                        std::vector<double>& ev, const EFn& e,
+                        const CostFn& w, std::vector<double>& d,
+                        std::span<double> ev, const EFn& e,
                         core::AtomicDpStats& stats) {
   std::size_t cordon = n + 1;
   for (std::size_t t = 1;; ++t) {
@@ -48,11 +54,15 @@ std::size_t find_cordon(std::size_t n, std::size_t now,
 
     std::atomic<std::size_t> batch_min{cordon};
     parallel::parallel_for(l, hi + 1, [&](std::size_t j) {
+      std::uint64_t local_relax = 0;
+      auto eval = [&](std::size_t jj, std::size_t ii) {
+        ++local_relax;
+        return ev[jj] + w(jj, ii);
+      };
       // Relax j from its recorded best decision (tentative if unready).
       std::size_t bd = b.best_of(j);
       d[j] = eval(bd, j);
       ev[j] = e(d[j], j);
-      stats.add_states(1);
 
       std::size_t s = kNone;
       if (convex) {
@@ -70,6 +80,8 @@ std::size_t find_cordon(std::size_t n, std::size_t now,
                               cur, s, std::memory_order_relaxed)) {
         }
       }
+      stats.add_states(1);
+      stats.add_relaxations(local_relax);
     });
     cordon = std::min(cordon, batch_min.load(std::memory_order_relaxed));
     if (cordon <= r + 1 || r == n) break;
@@ -87,7 +99,12 @@ GlwsResult glws_parallel(std::size_t n, double d0, const CostFn& w,
   res.d[0] = d0;
   if (n == 0) return res;
 
-  std::vector<double> ev(n + 1);
+  // E values are whole-run scratch (never returned): per-worker arena
+  // instead of the global allocator, so repeated solves on a warm worker
+  // allocate nothing here.
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  std::span<double> ev = arena.make_span<double>(n + 1);
   ev[0] = e(d0, 0);
   core::AtomicDpStats stats;
   auto eval = [&](std::size_t j, std::size_t i) {
@@ -98,12 +115,13 @@ GlwsResult glws_parallel(std::size_t n, double d0, const CostFn& w,
 
   // Initially every state's best (and only) candidate is state 0.
   BestDecisionList b(std::vector<DecisionInterval>{{1, n, 0}});
+  BestDecisionList bnew;  // concave merge scratch, capacity reused per round
 
   std::size_t now = 0;
   while (now < n) {
     stats.add_round();
     std::size_t cordon =
-        find_cordon(n, now, b, convex, eval, res.d, ev, e, stats);
+        find_cordon(n, now, b, convex, w, res.d, ev, e, stats);
 
     // States now+1 .. cordon-1 are the frontier: find_cordon already
     // computed their true D/E values; record their decisions.
@@ -123,7 +141,7 @@ GlwsResult glws_parallel(std::size_t n, double d0, const CostFn& w,
       } else {
         // Concave (Alg. 2): new decisions win a prefix of [cordon, n].
         b.advance_to(cordon);
-        BestDecisionList bnew{std::move(fresh)};
+        bnew.assign(fresh);
         b.assign(coalesce(
             merge_envelopes(b, bnew, eval, cordon, n, /*convex=*/false)));
       }

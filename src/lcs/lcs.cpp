@@ -1,30 +1,72 @@
 #include "src/lcs/lcs.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
+#include "src/core/kernels.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/parallel/sort.hpp"
 #include "src/structures/tournament_tree.hpp"
 
 namespace cordon::lcs {
 
-std::vector<MatchPair> match_pairs(const std::vector<std::uint32_t>& a,
-                                   const std::vector<std::uint32_t>& b) {
-  // Bucket positions of each symbol in b, then emit per position of a.
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> where;
-  where.reserve(b.size());
-  for (std::uint32_t j = 0; j < b.size(); ++j) where[b[j]].push_back(j);
+namespace {
 
-  std::vector<MatchPair> pairs;
+// Bucket positions of each symbol in b (j ascending per symbol), plus the
+// total number of match pairs — so emitters reserve exactly once.
+struct SymbolBuckets {
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> where;
+  std::size_t total_pairs = 0;
+
+  SymbolBuckets(const std::vector<std::uint32_t>& a,
+                const std::vector<std::uint32_t>& b) {
+    where.reserve(b.size());
+    for (std::uint32_t j = 0; j < b.size(); ++j) where[b[j]].push_back(j);
+    for (std::uint32_t x : a) {
+      auto it = where.find(x);
+      if (it != where.end()) total_pairs += it->second.size();
+    }
+  }
+};
+
+// Emits every pair in (i asc, j desc) order through emit(i, j).
+template <typename Emit>
+void for_each_pair(const std::vector<std::uint32_t>& a,
+                   const SymbolBuckets& buckets, const Emit& emit) {
   for (std::uint32_t i = 0; i < a.size(); ++i) {
-    auto it = where.find(a[i]);
-    if (it == where.end()) continue;
+    auto it = buckets.where.find(a[i]);
+    if (it == buckets.where.end()) continue;
     // j descending within equal i: later j first.
     for (std::size_t k = it->second.size(); k > 0; --k)
-      pairs.push_back({i, it->second[k - 1]});
+      emit(i, it->second[k - 1]);
   }
+}
+
+}  // namespace
+
+std::vector<MatchPair> match_pairs(const std::vector<std::uint32_t>& a,
+                                   const std::vector<std::uint32_t>& b) {
+  SymbolBuckets buckets(a, b);
+  std::vector<MatchPair> pairs;
+  pairs.reserve(buckets.total_pairs);
+  for_each_pair(a, buckets, [&](std::uint32_t i, std::uint32_t j) {
+    pairs.push_back({i, j});
+  });
   return pairs;  // already (i asc, j desc) by construction
+}
+
+MatchPairsSoA match_pairs_soa(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  SymbolBuckets buckets(a, b);
+  MatchPairsSoA pairs;
+  pairs.i.reserve(buckets.total_pairs);
+  pairs.j.reserve(buckets.total_pairs);
+  for_each_pair(a, buckets, [&](std::uint32_t i, std::uint32_t j) {
+    pairs.i.push_back(i);
+    pairs.j.push_back(j);
+  });
+  return pairs;
 }
 
 LcsResult lcs_naive(const std::vector<std::uint32_t>& a,
@@ -46,16 +88,18 @@ LcsResult lcs_naive(const std::vector<std::uint32_t>& a,
   return res;
 }
 
-LcsResult lcs_sparse_seq(const std::vector<MatchPair>& pairs) {
-  // Hunt–Szymanski: process pairs in (i asc, j desc) order; thresholds[k]
-  // is the smallest j ending a chain of length k+1.  Because j is
-  // descending within one i, a pair never chains onto another pair with
-  // the same i.
+namespace {
+
+// Hunt–Szymanski core over the contiguous j stream: process pairs in
+// (i asc, j desc) order; thresholds[k] is the smallest j ending a chain
+// of length k+1.  Because j is descending within one i, a pair never
+// chains onto another pair with the same i.
+LcsResult sparse_seq_impl(std::span<const std::uint32_t> js) {
   LcsResult res;
-  res.pair_dp.assign(pairs.size(), 0);
+  res.pair_dp.assign(js.size(), 0);
   std::vector<std::uint32_t> thresholds;  // strictly increasing j values
-  for (std::size_t p = 0; p < pairs.size(); ++p) {
-    std::uint32_t j = pairs[p].j;
+  for (std::size_t p = 0; p < js.size(); ++p) {
+    std::uint32_t j = js[p];
     auto it = std::lower_bound(thresholds.begin(), thresholds.end(), j);
     std::uint32_t len = static_cast<std::uint32_t>(it - thresholds.begin());
     if (it == thresholds.end())
@@ -70,46 +114,72 @@ LcsResult lcs_sparse_seq(const std::vector<MatchPair>& pairs) {
   return res;
 }
 
-LcsResult lcs_parallel(const std::vector<MatchPair>& pairs) {
+// Cordon rounds over the j key stream.  The pairs on the cordon are
+// exactly the prefix minima (Sec. 3, Fig. 2(f)), i.e., the LCS over the
+// secondary keys is an LIS instance.  One frontier buffer is reused for
+// every round and the finalization scatter runs through the block kernel.
+LcsResult parallel_impl(std::span<const std::uint32_t> js) {
   LcsResult res;
-  res.pair_dp.assign(pairs.size(), 0);
-  if (pairs.empty()) return res;
+  res.pair_dp.assign(js.size(), 0);
+  if (js.empty()) return res;
 
-  // Keys are the j coordinates in (i asc, j desc) order: the pairs on the
-  // cordon are exactly the prefix minima (Sec. 3, Fig. 2(f)), i.e., the
-  // LCS over the secondary keys is an LIS instance.
-  std::vector<std::uint64_t> keys(pairs.size());
-  parallel::parallel_for(0, pairs.size(),
-                         [&](std::size_t p) { keys[p] = pairs[p].j; });
-  structures::TournamentTree tree(keys);
+  structures::TournamentTree tree(js);
   core::AtomicDpStats stats;
+  std::vector<std::size_t> frontier;  // reused: zero-alloc steady state
   std::uint32_t round = 0;
   while (!tree.empty()) {
     ++round;
-    std::vector<std::size_t> frontier = tree.extract_prefix_minima();
+    tree.extract_prefix_minima_into(frontier);
     stats.add_round();
     stats.add_states(frontier.size());
     stats.add_relaxations(frontier.size());
-    parallel::parallel_for(0, frontier.size(), [&](std::size_t k) {
-      res.pair_dp[frontier[k]] = round;
-    });
+    core::kernels::parallel_scatter_fill(res.pair_dp.data(), frontier.data(),
+                                         frontier.size(), round);
   }
   res.length = round;
   res.stats = stats.snapshot();
   return res;
 }
 
-std::vector<MatchPair> recover_chain(const std::vector<MatchPair>& pairs,
-                                     const LcsResult& res) {
-  // Backward greedy: a pair with DP value v chains onto any pair with
-  // value v-1 strictly above-left of it; scanning the (i asc, j desc)
-  // order backwards and keeping strictly-dominated coordinates always
-  // finds one (the DP values certify existence).
+// The AoS entry points only need the j stream: peel it off once.
+std::vector<std::uint32_t> j_stream(const std::vector<MatchPair>& pairs) {
+  std::vector<std::uint32_t> js(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) js[p] = pairs[p].j;
+  return js;
+}
+
+}  // namespace
+
+LcsResult lcs_sparse_seq(const std::vector<MatchPair>& pairs) {
+  return sparse_seq_impl(j_stream(pairs));
+}
+
+LcsResult lcs_sparse_seq(const MatchPairsSoA& pairs) {
+  return sparse_seq_impl(pairs.j);
+}
+
+LcsResult lcs_parallel(const std::vector<MatchPair>& pairs) {
+  return parallel_impl(j_stream(pairs));
+}
+
+LcsResult lcs_parallel(const MatchPairsSoA& pairs) {
+  return parallel_impl(pairs.j);
+}
+
+namespace {
+
+// Backward greedy: a pair with DP value v chains onto any pair with
+// value v-1 strictly above-left of it; scanning the (i asc, j desc)
+// order backwards and keeping strictly-dominated coordinates always
+// finds one (the DP values certify existence).
+template <typename PairAt>
+std::vector<MatchPair> recover_impl(std::size_t count, const PairAt& pair_at,
+                                    const LcsResult& res) {
   std::vector<MatchPair> chain;
   std::uint32_t want = res.length;
   std::uint32_t limit_i = 0xffffffffu, limit_j = 0xffffffffu;
-  for (std::size_t p = pairs.size(); p > 0 && want > 0; --p) {
-    const MatchPair& pr = pairs[p - 1];
+  for (std::size_t p = count; p > 0 && want > 0; --p) {
+    const MatchPair pr = pair_at(p - 1);
     if (res.pair_dp[p - 1] == want && pr.i < limit_i && pr.j < limit_j) {
       chain.push_back(pr);
       limit_i = pr.i;
@@ -119,6 +189,24 @@ std::vector<MatchPair> recover_chain(const std::vector<MatchPair>& pairs,
   }
   std::reverse(chain.begin(), chain.end());
   return chain;
+}
+
+}  // namespace
+
+std::vector<MatchPair> recover_chain(const std::vector<MatchPair>& pairs,
+                                     const LcsResult& res) {
+  return recover_impl(
+      pairs.size(), [&](std::size_t p) { return pairs[p]; }, res);
+}
+
+std::vector<MatchPair> recover_chain(const MatchPairsSoA& pairs,
+                                     const LcsResult& res) {
+  return recover_impl(
+      pairs.size(),
+      [&](std::size_t p) {
+        return MatchPair{pairs.i[p], pairs.j[p]};
+      },
+      res);
 }
 
 }  // namespace cordon::lcs

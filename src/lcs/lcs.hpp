@@ -28,9 +28,28 @@ struct MatchPair {
   std::uint32_t j;  // position in B
 };
 
+/// Match pairs stored struct-of-arrays: the two coordinate streams live
+/// in separate contiguous arrays, in the same (i asc, j desc) order as
+/// the AoS form.  This is the hot-path representation: the cordon rounds
+/// read ONLY the j stream (tournament keys) and the threshold scan of
+/// the sequential algorithm walks it linearly, so keeping j densely
+/// packed halves the bandwidth per probe versus interleaved {i, j}
+/// records.  The i stream is touched only by witness recovery.
+struct MatchPairsSoA {
+  std::vector<std::uint32_t> i, j;
+
+  [[nodiscard]] std::size_t size() const noexcept { return j.size(); }
+  [[nodiscard]] bool empty() const noexcept { return j.empty(); }
+};
+
 /// All (i, j) with a[i] == b[j], sorted by (i asc, j desc) — the order
 /// the cordon algorithm consumes.  |result| = L.
 [[nodiscard]] std::vector<MatchPair> match_pairs(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+
+/// SoA variant of match_pairs — same pairs, same order, coordinate
+/// streams split.  The engine adapter and benches use this form.
+[[nodiscard]] MatchPairsSoA match_pairs_soa(
     const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
 
 struct LcsResult {
@@ -47,15 +66,19 @@ struct LcsResult {
 
 /// Sparse sequential O(L log n) over pre-computed pairs.
 [[nodiscard]] LcsResult lcs_sparse_seq(const std::vector<MatchPair>& pairs);
+[[nodiscard]] LcsResult lcs_sparse_seq(const MatchPairsSoA& pairs);
 
 /// Cordon Algorithm over pre-computed pairs (Thm 3.2).
 /// stats.rounds == LCS length.
 [[nodiscard]] LcsResult lcs_parallel(const std::vector<MatchPair>& pairs);
+[[nodiscard]] LcsResult lcs_parallel(const MatchPairsSoA& pairs);
 
 /// One optimal chain of match pairs (an LCS witness), recovered from the
 /// per-pair DP values of either sparse algorithm.  Returned in chain
 /// order (increasing i and j); length == res.length.  O(L) scan.
 [[nodiscard]] std::vector<MatchPair> recover_chain(
     const std::vector<MatchPair>& pairs, const LcsResult& res);
+[[nodiscard]] std::vector<MatchPair> recover_chain(const MatchPairsSoA& pairs,
+                                                   const LcsResult& res);
 
 }  // namespace cordon::lcs

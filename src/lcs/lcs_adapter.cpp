@@ -18,7 +18,8 @@ class LcsSolver final : public Solver {
 
   [[nodiscard]] SolveResult solve(const Instance& inst) const override {
     const auto& p = inst.as<LcsInstance>();
-    auto pairs = lcs::match_pairs(p.a, p.b);
+    // SoA pairs: the solve path only streams the j coordinates.
+    auto pairs = lcs::match_pairs_soa(p.a, p.b);
     auto r = lcs::lcs_parallel(pairs);
     SolveResult out = pack(p, pairs.size(), r);
     out.effective_depth = out.stats.rounds;  // rounds == LCS length (Thm 3.2)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/core/kernels.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/structures/tournament_tree.hpp"
 
@@ -92,16 +93,16 @@ LisResult lis_parallel(const std::vector<std::uint64_t>& a) {
   // explicit relaxation (the "global tentative value" observation).
   structures::TournamentTree tree(a);
   core::AtomicDpStats stats;
+  std::vector<std::size_t> frontier;  // reused: zero-alloc steady state
   std::uint32_t round = 0;
   while (!tree.empty()) {
     ++round;
-    std::vector<std::size_t> frontier = tree.extract_prefix_minima();
+    tree.extract_prefix_minima_into(frontier);
     stats.add_round();
     stats.add_states(frontier.size());
     stats.add_relaxations(frontier.size());
-    parallel::parallel_for(0, frontier.size(), [&](std::size_t k) {
-      res.dp[frontier[k]] = round;
-    });
+    core::kernels::parallel_scatter_fill(res.dp.data(), frontier.data(),
+                                         frontier.size(), round);
   }
   res.length = round;
   res.stats = stats.snapshot();

@@ -14,6 +14,9 @@
 // rounds, which is exactly the case the paper's 1-valley + convex-LWS
 // machinery (Appendix A) addresses — see DESIGN.md for the substitution
 // note and bench A4 for the measured round counts.
+#include <span>
+
+#include "src/core/arena.hpp"
 #include "src/oat/gw_list.hpp"
 #include "src/oat/oat.hpp"
 #include "src/parallel/primitives.hpp"
@@ -31,13 +34,23 @@ OatResult oat_parallel(const std::vector<double>& weights) {
 
   detail::GwList list(weights);
   core::AtomicDpStats stats;
+  // Round scratch: snapshot/pending are reused push targets (high-water
+  // capacity retained); sums/marked are dense per-round arrays carved
+  // from the worker arena and rewound every round.
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
   std::vector<std::uint32_t> snapshot;
-  std::vector<double> sums;
-  std::vector<std::uint8_t> marked;
+
+  struct Pending {
+    std::uint32_t z;
+    std::uint32_t anchor;  // surviving node just left of the pair's gap
+  };
+  std::vector<Pending> pending;
 
   bool drained = false;
   while (list.size() > 1 && !drained) {
     stats.add_round();
+    core::ArenaScope round_scope(arena);
     const std::size_t m = list.size();
     snapshot.clear();
     snapshot.reserve(m);
@@ -96,11 +109,11 @@ OatResult oat_parallel(const std::vector<double>& weights) {
       }
     }
 
-    sums.assign(m - 1, 0.0);
+    std::span<double> sums = arena.make_span<double>(m - 1);
     parallel::parallel_for(0, m - 1, [&](std::size_t p) {
       sums[p] = list.weight(snapshot[p]) + list.weight(snapshot[p + 1]);
     });
-    marked.assign(m - 1, 0);
+    std::span<std::uint8_t> marked = arena.make_span<std::uint8_t>(m - 1);
     parallel::parallel_for(0, m - 1, [&](std::size_t p) {
       bool left_ok = p == 0 || sums[p] < sums[p - 1];
       bool right_ok = p + 2 >= m || sums[p] <= sums[p + 1];
@@ -112,11 +125,7 @@ OatResult oat_parallel(const std::vector<double>& weights) {
     // parents left to right — exactly the [72] round structure.  A
     // reinsertion scan must start at the first *surviving* node after
     // its pair, since the node right after may itself have been combined.
-    struct Pending {
-      std::uint32_t z;
-      std::uint32_t anchor;  // surviving node just left of the pair's gap
-    };
-    std::vector<Pending> pending;
+    pending.clear();
     auto removed = [&](std::size_t q) {
       return marked[q] != 0 || (q > 0 && marked[q - 1] != 0);
     };

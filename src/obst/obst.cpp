@@ -1,7 +1,10 @@
 #include "src/obst/obst.hpp"
 
 #include <limits>
+#include <span>
 
+#include "src/core/arena.hpp"
+#include "src/core/kernels.hpp"
 #include "src/parallel/primitives.hpp"
 
 namespace cordon::obst {
@@ -11,15 +14,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct Tables {
   std::size_t n;
-  std::vector<double> d;           // (n+1)^2, row-major
-  std::vector<std::uint32_t> root;
-  std::vector<double> prefix;      // prefix[i] = w[0] + ... + w[i-1]
+  std::span<double> d;             // (n+1)^2, row-major; arena scratch
+  std::vector<std::uint32_t> root; // result: moved into ObstResult
+  std::span<double> prefix;        // prefix[i] = w[0] + ... + w[i-1]
 
-  explicit Tables(const std::vector<double>& w)
+  // The cost table and prefix sums are pure scratch (only `root` leaves
+  // this translation unit), so they bump the caller's arena epoch
+  // instead of the heap — O(n^2) doubles reused across solves.
+  Tables(const std::vector<double>& w, core::Arena& arena)
       : n(w.size()),
-        d((n + 1) * (n + 1), kInf),
+        d(arena.make_span<double>((n + 1) * (n + 1), kInf)),
         root((n + 1) * (n + 1), 0),
-        prefix(n + 1, 0.0) {
+        prefix(arena.make_span<double>(n + 1, 0.0)) {
     for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + w[i];
     for (std::size_t i = 0; i <= n; ++i) at(i, i) = 0.0;
   }
@@ -37,21 +43,18 @@ struct Tables {
 };
 
 // Fills one cell scanning decisions in [klo, khi]; returns (cost, argmin).
+// The scan is the strided min-plus kernel: t.get(i, k) walks row i
+// contiguously while t.get(k + 1, j) walks column j with stride n+1.
 void fill_cell(Tables& t, std::size_t i, std::size_t j, std::size_t klo,
                std::size_t khi, core::AtomicDpStats& stats) {
-  double best = kInf;
-  std::size_t best_k = klo;
-  for (std::size_t k = klo; k <= khi; ++k) {
-    double v = t.get(i, k) + t.get(k + 1, j);
-    if (v < best) {
-      best = v;
-      best_k = k;
-    }
-  }
+  const std::size_t stride = t.n + 1;
+  core::kernels::ArgMin best = core::kernels::argmin_add_strided(
+      t.d.data() + i * stride + klo, t.d.data() + (klo + 1) * stride + j,
+      stride, khi - klo + 1);
   stats.add_relaxations(khi - klo + 1);
   stats.add_states(1);
-  t.at(i, j) = best + t.weight(i, j);
-  t.rt(i, j) = static_cast<std::uint32_t>(best_k);
+  t.at(i, j) = best.value + t.weight(i, j);
+  t.rt(i, j) = static_cast<std::uint32_t>(klo + best.index);
 }
 
 ObstResult finish(Tables& t, core::AtomicDpStats& stats) {
@@ -66,7 +69,9 @@ ObstResult finish(Tables& t, core::AtomicDpStats& stats) {
 }  // namespace
 
 ObstResult obst_naive(const std::vector<double>& w) {
-  Tables t(w);
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  Tables t(w, arena);
   core::AtomicDpStats stats;
   for (std::size_t delta = 1; delta <= t.n; ++delta) {
     stats.add_round();
@@ -77,7 +82,9 @@ ObstResult obst_naive(const std::vector<double>& w) {
 }
 
 ObstResult obst_knuth(const std::vector<double>& w) {
-  Tables t(w);
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  Tables t(w, arena);
   core::AtomicDpStats stats;
   for (std::size_t delta = 1; delta <= t.n; ++delta) {
     stats.add_round();
@@ -94,7 +101,9 @@ ObstResult obst_knuth(const std::vector<double>& w) {
 }
 
 ObstResult obst_parallel(const std::vector<double>& w) {
-  Tables t(w);
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  Tables t(w, arena);
   core::AtomicDpStats stats;
   // Diagonal wavefront: the delta-th cordon frontier is exactly the
   // diagonal j - i == delta (Sec. 5.5); cells of one diagonal are

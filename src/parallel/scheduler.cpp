@@ -51,7 +51,7 @@ struct Pool {
   // Reserved deque slots for adopted external threads (ExternalWorkerScope):
   // slots [n, n + kMaxExternal) are allocated up front so thieves can scan
   // a fixed range without synchronizing on slot churn.
-  static constexpr std::size_t kMaxExternal = 8;
+  static constexpr std::size_t kMaxExternal = kMaxExternalWorkers;
 
   std::vector<std::unique_ptr<Deque>> deques;
   std::vector<std::thread> threads;
@@ -130,7 +130,11 @@ Pool& pool(bool adopt_caller = true) {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   p = g_pool.load(std::memory_order_relaxed);
   if (p == nullptr) {
-    p = new Pool(configured_workers(), adopt_caller);
+    // num_workers(), not configured_workers(): the public worker count
+    // is cached on first use, and per-slot state sized from it (the
+    // worker arenas) must stay in bounds across pool restarts — so a
+    // CORDON_NUM_THREADS change after the first pool has no effect.
+    p = new Pool(num_workers(), adopt_caller);
     g_pool.store(p, std::memory_order_release);
   }
   return *p;
@@ -374,6 +378,15 @@ std::size_t num_workers() noexcept {
 }
 
 std::size_t worker_id() noexcept { return t_worker_id; }
+
+bool is_worker_thread() noexcept {
+  if (!t_is_worker) return false;
+  // A stale identity (issued by a pool that shutdown_pool destroyed) must
+  // not claim slot ownership: the same slot id may belong to a live
+  // thread of the next incarnation.
+  Pool* p = g_pool.load(std::memory_order_acquire);
+  return p != nullptr && p->generation == t_worker_generation;
+}
 
 void ensure_started() { (void)pool(); }
 

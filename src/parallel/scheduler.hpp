@@ -100,6 +100,11 @@ void shutdown_pool();
 
 }  // namespace detail
 
+/// Number of reserved deque slots for adopted external threads
+/// (ExternalWorkerScope).  Fixed at pool construction so per-slot state
+/// (deques, scratch arenas) can be allocated up front.
+inline constexpr std::size_t kMaxExternalWorkers = 8;
+
 /// Number of worker threads in the pool (>= 1), excluding adopted
 /// external slots.
 std::size_t num_workers() noexcept;
@@ -108,6 +113,22 @@ std::size_t num_workers() noexcept;
 /// external threads get [num_workers(), num_workers() + slots), and
 /// non-worker threads get 0.
 std::size_t worker_id() noexcept;
+
+/// Total number of worker slots: pool workers plus reserved external
+/// slots.  worker_id() of any thread for which is_worker_thread() holds
+/// is always < worker_slots().
+inline std::size_t worker_slots() noexcept {
+  return num_workers() + kMaxExternalWorkers;
+}
+
+/// True when the calling thread currently holds a live worker identity of
+/// the CURRENT pool incarnation — a pool worker or an adopted external
+/// thread.  False for outsiders and for threads whose identity went stale
+/// through detail::shutdown_pool.  Per-worker-slot state (e.g. the
+/// scratch arenas of core/arena.hpp) keys off this: a slot id is owned by
+/// exactly one live thread at a time, and the ownership handoff across a
+/// pool restart is synchronized by the pool join / slot CAS.
+bool is_worker_thread() noexcept;
 
 /// Starts the pool if not yet running.  Called lazily by par_do; exposed so
 /// benchmarks can exclude startup cost from timed sections.

@@ -1,11 +1,13 @@
 #include "src/service/service.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "src/core/arena.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::service {
@@ -29,9 +31,22 @@ std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
   // does not depend on cache contents.
   if (stopping_.load(std::memory_order_acquire))
     throw std::runtime_error("CordonService: submit after shutdown");
-  engine::InstanceKey key = engine::canonical_key(inst);
+  // Hash-first probe, one serialization total: the canonical bytes go
+  // into a thread-local buffer whose capacity is reused across submits
+  // (zero allocation when warm), the 64-bit key hash is computed from
+  // those bytes, and a full-hash bucket hit compares candidates by
+  // straight memcmp against the same buffer.  A cold probe never
+  // compares text at all, and only the miss path copies the buffer into
+  // an owned key.
+  thread_local std::string canonical_buf;
+  engine::canonical_text_into(inst, canonical_buf);
+  engine::InstanceKey key;
+  key.hash = engine::fnv1a64(canonical_buf);
   if (cache_ != nullptr) {
-    if (auto hit = cache_->get(key.hash, key.text)) {
+    auto hit = cache_->get_matching(key.hash, [&](std::string_view stored) {
+      return stored == canonical_buf;
+    });
+    if (hit) {
       // Fast path: completed future, no queue, no dispatcher wake-up,
       // no service-wide lock.  seq_cst increments in this order let
       // stats() (which reads hit_completed_ before submitted_) never
@@ -43,6 +58,9 @@ std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
       return ready.get_future();
     }
   }
+  // Miss path: the dispatcher needs an owned copy of the canonical text
+  // (in-batch coalescing, cache insertion).
+  key.text = canonical_buf;
   Pending pend{std::move(inst), std::move(key), {},
                std::chrono::steady_clock::now()};
   std::future<engine::SolveResult> fut = pend.promise.get_future();
@@ -136,13 +154,23 @@ void CordonService::dispatch_loop() {
 void CordonService::run_batch(std::vector<Pending> taken) {
   auto dispatched_at = std::chrono::steady_clock::now();
 
+  // Batch assembly runs inside one arena epoch of the dispatcher's
+  // worker arena (the dispatcher holds an adopted slot for its
+  // lifetime): every transient array below — groups, probe outcomes,
+  // the instance batch itself — bumps the same retained chunks each
+  // dispatch instead of round-tripping the global allocator.  The
+  // vectors must not outlive `assembly` (they don't: promises are
+  // fulfilled before this function returns).
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope assembly(arena);
+
   // Coalesce: identical canonical texts collapse onto the first
   // occurrence (the "leader"); one solve serves every duplicate.
   struct Group {
     std::size_t leader;
     std::vector<std::size_t> members;
   };
-  std::vector<Group> groups;
+  core::ArenaVector<Group> groups{core::ArenaAllocator<Group>(arena)};
   {
     std::unordered_map<std::string_view, std::size_t> by_text;  // -> group
     for (std::size_t i = 0; i < taken.size(); ++i) {
@@ -162,9 +190,11 @@ void CordonService::run_batch(std::vector<Pending> taken) {
     engine::SolveResult result;      // when ok
     std::exception_ptr error;        // when !ok
   };
-  std::vector<Outcome> outcomes;
-  std::vector<const Group*> to_solve;
-  std::vector<engine::Instance> batch;
+  core::ArenaVector<Outcome> outcomes{core::ArenaAllocator<Outcome>(arena)};
+  core::ArenaVector<const Group*> to_solve{
+      core::ArenaAllocator<const Group*>(arena)};
+  core::ArenaVector<engine::Instance> batch{
+      core::ArenaAllocator<engine::Instance>(arena)};
   for (const Group& g : groups) {
     const engine::InstanceKey& key = taken[g.leader].key;
     if (cache_ != nullptr) {

@@ -3,9 +3,22 @@
 // A fixed array of independent LRU shards, each an intrusive
 // list + hash-map pair behind its own mutex.  A key's 64-bit hash picks
 // the shard (high bits, so shard choice is independent of the hash-map's
-// bucket choice), and within the shard the *full* key string decides
-// equality — a hash collision can therefore never return the wrong
-// entry, only land two keys in the same shard.
+// bucket choice) AND is stored alongside every entry as the primary
+// index: a probe walks the (almost always empty or single-element)
+// bucket of entries sharing the full 64-bit hash and only then decides
+// equality on the full key text — so a MISS never touches key bytes at
+// all, and a hit compares text exactly once.  `get_matching` takes the
+// comparison as a callback, which is what lets CordonService probe with
+// a streaming serializer instead of a materialized string: a hash
+// collision can still never return the wrong entry, only cost one extra
+// comparison.
+//
+// The matcher runs OUTSIDE the shard lock: the probe snapshots the
+// candidate keys' shared_ptr handles under the mutex (refcount bumps,
+// no allocation), compares unlocked — the comparison may be a full
+// instance re-serialization, which must not serialize other clients of
+// the shard — and re-locks to refresh recency and copy the value,
+// tolerating a concurrent eviction by reporting a miss.
 //
 // Threading: every public method is safe to call concurrently from any
 // number of threads; only one shard's mutex is held at a time and no
@@ -15,6 +28,7 @@
 // reference escapes a shard lock.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -43,40 +57,95 @@ class ShardedLruCache {
     for (auto& s : shards_) s = std::make_unique<Shard>();
   }
 
-  /// Copy of the cached value, refreshing its recency; nullopt on miss.
-  [[nodiscard]] std::optional<Value> get(std::uint64_t hash,
-                                         std::string_view key) {
+  /// Hash-first probe: entries whose stored 64-bit hash equals `hash`
+  /// are offered to `matches(stored_key)` — outside the shard lock —
+  /// until one accepts.  Returns a copy of that entry's value
+  /// (refreshing its recency); nullopt when the hash bucket is empty or
+  /// every candidate is rejected.  `matches` is invoked zero times on a
+  /// bucket miss, so the common cold probe costs no key comparison.
+  /// At most kMaxProbe candidates are compared; a 5-way full-64-bit-hash
+  /// collision (never, in practice) degrades to a miss, not a wrong
+  /// value.  An entry evicted between the snapshot and the re-lock also
+  /// reports a miss.
+  template <typename Matcher>
+  [[nodiscard]] std::optional<Value> get_matching(std::uint64_t hash,
+                                                  Matcher&& matches) {
     Shard& s = shard(hash);
-    std::lock_guard lock(s.mu);
-    auto it = s.index.find(key);
-    if (it == s.index.end()) {
-      ++s.stats.misses;
-      return std::nullopt;
+    std::array<KeyHandle, kMaxProbe> cand;
+    std::size_t n = 0;
+    {
+      std::lock_guard lock(s.mu);
+      auto [lo, hi] = s.index.equal_range(hash);
+      for (auto it = lo; it != hi && n < kMaxProbe; ++it)
+        cand[n++] = it->second->key;
+      if (n == 0) {
+        ++s.stats.misses;
+        return std::nullopt;
+      }
     }
-    ++s.stats.hits;
-    s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
-    return it->second->value;
+    // Equality — possibly a full streaming re-serialization — runs with
+    // no lock held; the shared_ptr keeps the key text alive even if the
+    // entry is evicted meanwhile.
+    KeyHandle matched;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (matches(std::string_view(*cand[i]))) {
+        matched = cand[i];
+        break;
+      }
+    }
+    std::lock_guard lock(s.mu);
+    if (matched != nullptr) {
+      auto [lo, hi] = s.index.equal_range(hash);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second->key == matched) {
+          ++s.stats.hits;
+          s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
+          return it->second->value;
+        }
+      }
+    }
+    ++s.stats.misses;
+    return std::nullopt;
   }
 
-  /// Inserts (or refreshes) key -> value, evicting the shard's least
-  /// recently used entry when the shard is at capacity.
+  /// Copy of the cached value for (hash, key), refreshing its recency;
+  /// nullopt on miss.
+  [[nodiscard]] std::optional<Value> get(std::uint64_t hash,
+                                         std::string_view key) {
+    return get_matching(hash, [&](std::string_view stored) {
+      return stored == key;
+    });
+  }
+
+  /// Inserts (or refreshes) (hash, key) -> value, evicting the shard's
+  /// least recently used entry when the shard is at capacity.
   void put(std::uint64_t hash, std::string key, Value value) {
     Shard& s = shard(hash);
     std::lock_guard lock(s.mu);
-    auto it = s.index.find(std::string_view(key));
-    if (it != s.index.end()) {
-      it->second->value = std::move(value);
-      s.lru.splice(s.lru.begin(), s.lru, it->second);
-      return;
+    auto [lo, hi] = s.index.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (std::string_view(*it->second->key) == std::string_view(key)) {
+        it->second->value = std::move(value);
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        return;
+      }
     }
     if (s.lru.size() >= per_shard_capacity_) {
-      s.index.erase(std::string_view(s.lru.back().key));
+      auto last = std::prev(s.lru.end());
+      auto [elo, ehi] = s.index.equal_range(last->hash);
+      for (auto it = elo; it != ehi; ++it) {
+        if (it->second == last) {
+          s.index.erase(it);
+          break;
+        }
+      }
       s.lru.pop_back();
       ++s.stats.evictions;
     }
-    s.lru.push_front(Entry{std::move(key), std::move(value)});
-    // string_view into the list node: std::list never moves its nodes.
-    s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+    s.lru.push_front(Entry{
+        hash, std::make_shared<const std::string>(std::move(key)),
+        std::move(value)});
+    s.index.emplace(hash, s.lru.begin());
     ++s.stats.insertions;
   }
 
@@ -115,29 +184,38 @@ class ShardedLruCache {
   }
 
  private:
+  /// Candidates sharing one full 64-bit hash that a single probe will
+  /// compare; beyond this the probe reports a miss (safe: re-solve).
+  static constexpr std::size_t kMaxProbe = 4;
+
+  // shared so a probe can keep comparing against a key after the shard
+  // lock is dropped (and even after the entry is evicted).
+  using KeyHandle = std::shared_ptr<const std::string>;
+
   struct Entry {
-    std::string key;
+    std::uint64_t hash;
+    KeyHandle key;
     Value value;
   };
 
-  struct StringViewHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
+  // The stored hashes are already 64-bit FNV-1a: feed them through.
+  struct IdentityHash {
+    std::size_t operator()(std::uint64_t h) const noexcept {
+      return static_cast<std::size_t>(h);
     }
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string_view, typename std::list<Entry>::iterator,
-                       StringViewHash>
-        index;  // views point into lru nodes (stable addresses)
+    std::unordered_multimap<std::uint64_t, typename std::list<Entry>::iterator,
+                            IdentityHash>
+        index;  // full-hash buckets; list iterators stay stable
     core::CacheStats stats;
   };
 
   Shard& shard(std::uint64_t hash) {
-    // High bits: independent of unordered_map's low-bit bucket choice.
+    // High bits: independent of the multimap's low-bit bucket choice.
     return *shards_[(hash >> 48) % shards_.size()];
   }
 

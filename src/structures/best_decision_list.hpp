@@ -1,6 +1,7 @@
-// Sorted best-decision triple array `B` for the parallel GLWS (Alg. 1).
+// Sorted best-decision triple list `B` for the parallel GLWS (Alg. 1),
+// stored struct-of-arrays.
 //
-// B stores triples ([l, r], j) in increasing order of l, covering a
+// B records triples ([l, r], j) in increasing order of l, covering a
 // contiguous range of tentative states: best[i] = j for every l <= i <= r.
 // Supports
 //   * best_of(i)            — O(log n) lookup (Alg. 1 line 13),
@@ -10,8 +11,15 @@
 //     candidate newer than everything in B, the win-set is a suffix
 //     (intersection of per-candidate suffixes), so binary search is sound.
 //
-// The list is rebuilt (convex) or merged (concave, Alg. 2) each round by
-// glws_parallel.cpp.
+// Layout: the three triple fields live in three parallel arrays (l_, r_,
+// j_) instead of an array of structs.  Every hot operation — best_of's
+// binary search, first_win's probes, the prefix-doubling loop that calls
+// them thousands of times per round — touches ONLY the r_ array until the
+// final j_ read, so the search walks a contiguous cache-dense array
+// instead of striding over 3-word records.  The arrays are rebuilt
+// (convex) or merged (concave, Alg. 2) each round by glws_parallel.cpp /
+// gap_parallel.cpp; `assign` reuses their capacity, so the steady state
+// allocates nothing.
 #pragma once
 
 #include <cassert>
@@ -28,26 +36,40 @@ class BestDecisionList {
   static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
   BestDecisionList() = default;
-  explicit BestDecisionList(std::vector<DecisionInterval> triples)
-      : triples_(std::move(triples)) {}
-
-  [[nodiscard]] bool empty() const noexcept { return triples_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return triples_.size(); }
-  [[nodiscard]] const std::vector<DecisionInterval>& triples() const noexcept {
-    return triples_;
+  explicit BestDecisionList(std::vector<DecisionInterval> triples) {
+    assign(triples);
   }
+
+  [[nodiscard]] bool empty() const noexcept { return r_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return r_.size(); }
+
+  /// Per-triple field access (t indexes the sorted triple list).
+  [[nodiscard]] std::size_t triple_l(std::size_t t) const { return l_[t]; }
+  [[nodiscard]] std::size_t triple_r(std::size_t t) const { return r_[t]; }
+  [[nodiscard]] std::size_t triple_j(std::size_t t) const { return j_[t]; }
+
+  /// Materializes the AoS view (cold paths: envelope merge early-outs,
+  /// tests).
+  [[nodiscard]] std::vector<DecisionInterval> to_triples() const {
+    std::vector<DecisionInterval> out;
+    out.reserve(r_.size());
+    for (std::size_t t = 0; t < r_.size(); ++t)
+      out.push_back({l_[t], r_[t], j_[t]});
+    return out;
+  }
+
   [[nodiscard]] std::size_t cover_lo() const {
-    return triples_.empty() ? kNone : triples_.front().l;
+    return l_.empty() ? kNone : l_.front();
   }
   [[nodiscard]] std::size_t cover_hi() const {
-    return triples_.empty() ? 0 : triples_.back().r;
+    return r_.empty() ? 0 : r_.back();
   }
 
   /// Best decision currently recorded for state i; kNone if i is outside
   /// the covered range.
   [[nodiscard]] std::size_t best_of(std::size_t i) const {
     std::size_t t = triple_index(i);
-    return t == kNone ? kNone : triples_[t].j;
+    return t == kNone ? kNone : j_[t];
   }
 
   /// First state i >= lo (within the covered range) where candidate j
@@ -58,7 +80,7 @@ class BestDecisionList {
   template <typename Eval>
   [[nodiscard]] std::size_t first_win(std::size_t j, const Eval& eval,
                                       std::size_t lo) const {
-    if (triples_.empty()) return kNone;
+    if (r_.empty()) return kNone;
     std::size_t hi = cover_hi();
     if (lo > hi) return kNone;
     if (lo < cover_lo()) lo = cover_lo();
@@ -81,28 +103,45 @@ class BestDecisionList {
   }
 
   /// Replaces the whole list (convex rounds rebuild B from scratch).
-  void assign(std::vector<DecisionInterval> triples) {
-    triples_ = std::move(triples);
+  /// Splits the AoS construction format into the SoA arrays, reusing
+  /// their capacity round over round.
+  void assign(const std::vector<DecisionInterval>& triples) {
+    l_.clear();
+    r_.clear();
+    j_.clear();
+    l_.reserve(triples.size());
+    r_.reserve(triples.size());
+    j_.reserve(triples.size());
+    for (const DecisionInterval& t : triples) {
+      l_.push_back(t.l);
+      r_.push_back(t.r);
+      j_.push_back(t.j);
+    }
   }
 
   /// Drops every triple (or triple prefix) covering states < lo.  Used
   /// when the frontier advances past the start of the covered range.
   void advance_to(std::size_t lo) {
     std::size_t keep = 0;
-    while (keep < triples_.size() && triples_[keep].r < lo) ++keep;
-    if (keep > 0) triples_.erase(triples_.begin(),
-                                 triples_.begin() + static_cast<std::ptrdiff_t>(keep));
-    if (!triples_.empty() && triples_.front().l < lo) triples_.front().l = lo;
+    while (keep < r_.size() && r_[keep] < lo) ++keep;
+    if (keep > 0) {
+      auto drop = static_cast<std::ptrdiff_t>(keep);
+      l_.erase(l_.begin(), l_.begin() + drop);
+      r_.erase(r_.begin(), r_.begin() + drop);
+      j_.erase(j_.begin(), j_.begin() + drop);
+    }
+    if (!l_.empty() && l_.front() < lo) l_.front() = lo;
   }
 
  private:
   [[nodiscard]] std::size_t triple_index(std::size_t i) const {
-    if (triples_.empty() || i < triples_.front().l || i > triples_.back().r)
-      return kNone;
-    std::size_t lo = 0, hi = triples_.size() - 1;
+    if (r_.empty() || i < l_.front() || i > r_.back()) return kNone;
+    // Contiguous binary search over r_ alone: the whole probe sequence
+    // lives in one SoA array.
+    std::size_t lo = 0, hi = r_.size() - 1;
     while (lo < hi) {
       std::size_t mid = lo + (hi - lo) / 2;
-      if (triples_[mid].r < i)
+      if (r_[mid] < i)
         lo = mid + 1;
       else
         hi = mid;
@@ -110,7 +149,7 @@ class BestDecisionList {
     return lo;
   }
 
-  std::vector<DecisionInterval> triples_;
+  std::vector<std::size_t> l_, r_, j_;  // parallel arrays, sorted by l
 };
 
 }  // namespace cordon::structures

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "src/parallel/scheduler.hpp"
@@ -28,13 +29,18 @@ class TournamentTree {
   using Key = std::uint64_t;
   static constexpr Key kInf = std::numeric_limits<Key>::max();
 
-  explicit TournamentTree(const std::vector<Key>& keys) : n_(keys.size()) {
-    size_ = 1;
-    while (size_ < n_) size_ <<= 1;
-    min_.assign(2 * size_, kInf);
-    for (std::size_t i = 0; i < n_; ++i) min_[size_ + i] = keys[i];
-    for (std::size_t v = size_ - 1; v >= 1; --v)
-      min_[v] = std::min(min_[2 * v], min_[2 * v + 1]);
+  explicit TournamentTree(const std::vector<Key>& keys)
+      : TournamentTree(std::span<const Key>(keys)) {}
+
+  explicit TournamentTree(std::span<const Key> keys) : n_(keys.size()) {
+    build([&](std::size_t i) { return keys[i]; });
+  }
+
+  /// Loads 32-bit keys (the SoA LCS j stream) directly into the leaves —
+  /// no intermediate widened array.
+  explicit TournamentTree(std::span<const std::uint32_t> keys)
+      : n_(keys.size()) {
+    build([&](std::size_t i) { return static_cast<Key>(keys[i]); });
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
@@ -54,12 +60,30 @@ class TournamentTree {
   /// Returned positions are sorted.  Each extracted position is removed.
   [[nodiscard]] std::vector<std::size_t> extract_prefix_minima() {
     std::vector<std::size_t> out;
-    if (min_[1] == kInf) return out;
-    extract_rec(1, 0, size_, kInf, out);
+    extract_prefix_minima_into(out);
     return out;
   }
 
+  /// Reusing variant: clears `out` and fills it with the extracted
+  /// positions.  Callers that loop rounds keep one buffer alive so the
+  /// steady state performs no frontier allocation (the capacity of the
+  /// largest frontier is retained).
+  void extract_prefix_minima_into(std::vector<std::size_t>& out) {
+    out.clear();
+    if (min_[1] == kInf) return;
+    extract_rec(1, 0, size_, kInf, out);
+  }
+
  private:
+  template <typename KeyAt>
+  void build(const KeyAt& key_at) {
+    size_ = 1;
+    while (size_ < n_) size_ <<= 1;
+    min_.assign(2 * size_, kInf);
+    for (std::size_t i = 0; i < n_; ++i) min_[size_ + i] = key_at(i);
+    for (std::size_t v = size_ - 1; v >= 1; --v)
+      min_[v] = std::min(min_[2 * v], min_[2 * v + 1]);
+  }
   // Sequential-shaped recursion with parallel forks for large subtrees.
   // `bound` = min active key strictly before this subtree (pre-extraction).
   void extract_rec(std::size_t v, std::size_t lo, std::size_t hi, Key bound,

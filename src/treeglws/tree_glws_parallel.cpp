@@ -25,7 +25,9 @@
 //     span of this step differs.)
 #include <atomic>
 #include <limits>
+#include <span>
 
+#include "src/core/arena.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/structures/hld.hpp"
 #include "src/structures/persistent_treap.hpp"
@@ -78,7 +80,11 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
   HeavyLightDecomposition hld(t);
   SegmentTree<std::size_t, MinOp> sentinel_seg(n, kUnset, MinOp{});
 
-  std::vector<double> ev(n, 0.0);
+  // Whole-run scratch lives in the worker's arena; the per-round arrays
+  // below are reset (rewound or refilled) between rounds, never freed.
+  core::Arena& arena = core::worker_arena();
+  core::ArenaScope scratch(arena);
+  std::span<double> ev = arena.make_span<double>(n, 0.0);
   ev[t.root] = e(d0, t.root);
 
   core::AtomicDpStats stats;
@@ -146,11 +152,16 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
     return pool.insert(out, {start, max_depth, static_cast<std::size_t>(u)});
   };
 
-  // Tentative subtree roots of the current round.
+  // Tentative subtree roots of the current round.  Every buffer below is
+  // either an arena span (dense per-node scratch, fixed size) or a
+  // round-reused vector (dynamic push targets keep their high-water
+  // capacity), so the round loop allocates nothing once warm.
   std::vector<std::uint32_t> roots = t.children[t.root];
   std::vector<std::uint32_t> probed;       // all nodes probed this round
-  std::vector<std::size_t> sentinel(n, kUnset);
-  std::vector<std::uint8_t> ready(n, 0);
+  std::span<std::size_t> sentinel = arena.make_span<std::size_t>(n, kUnset);
+  std::span<std::uint8_t> ready = arena.make_span<std::uint8_t>(n, std::uint8_t{0});
+  std::span<std::size_t> cordon_of = arena.make_span<std::size_t>(n, kUnset);
+  std::vector<std::uint32_t> active, still, order, next_roots;
 
   while (!roots.empty()) {
     stats.add_round();
@@ -160,10 +171,10 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
     // keeps doubling while its shallowest sentinel (the cordon) is still
     // beyond the probed window — the tree analogue of Alg. 1's
     // "cordon <= r+1" stop test.
-    std::vector<std::uint32_t> active = roots;
-    std::vector<std::size_t> cordon_of(n, kUnset);
+    active = roots;
+    std::fill(cordon_of.begin(), cordon_of.end(), kUnset);
     for (std::size_t tstep = 1; !active.empty(); ++tstep) {
-      std::vector<std::uint32_t> still;
+      still.clear();
       for (std::uint32_t r : active) {
         std::uint32_t base_depth = et.depth[r];
         std::size_t dlo = base_depth + (std::size_t{1} << (tstep - 1)) - 1;
@@ -234,7 +245,7 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
           still.push_back(r);
         }
       }
-      active = std::move(still);
+      std::swap(active, still);  // both buffers stay warm
     }
 
 
@@ -260,9 +271,9 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
 
     // Extend envelopes top-down over the newly finalized forest and
     // collect next round's subtree roots.
-    std::vector<std::uint32_t> next_roots;
+    next_roots.clear();
     // Process ready nodes in increasing depth so parents are done first.
-    std::vector<std::uint32_t> order;
+    order.clear();
     order.reserve(probed.size());
     for (std::uint32_t v : probed)
       if (ready[v]) order.push_back(v);
@@ -284,7 +295,7 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
       sentinel[v] = kUnset;
       ready[v] = 0;
     }
-    roots = std::move(next_roots);
+    std::swap(roots, next_roots);
   }
 
   res.stats = stats.snapshot();

@@ -1,0 +1,197 @@
+// Per-worker arena: epoch reuse, alignment, worker-slot ownership
+// (including ExternalWorkerScope adoption), and pool-restart behavior.
+//
+// Ships its own main() because the pool-restart cases call
+// detail::shutdown_pool and the scheduler must not be started by gtest
+// machinery in an order the test does not control.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/arena.hpp"
+#include "src/parallel/scheduler.hpp"
+
+namespace core = cordon::core;
+namespace parallel = cordon::parallel;
+
+TEST(Arena, EpochResetReusesMemory) {
+  core::Arena a;
+  void* first;
+  {
+    core::ArenaScope scope(a);
+    first = a.allocate(1000);
+    std::memset(first, 0xab, 1000);
+  }
+  // Same request after the rewind must land on the same bytes — that is
+  // the zero-allocation steady state.
+  core::ArenaScope scope(a);
+  void* second = a.allocate(1000);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Arena, NestedScopesAreLifo) {
+  core::Arena a;
+  core::ArenaScope outer(a);
+  auto s1 = a.make_span<std::uint64_t>(16, std::uint64_t{1});
+  void* inner_ptr;
+  {
+    core::ArenaScope inner(a);
+    auto s2 = a.make_span<std::uint64_t>(16, std::uint64_t{2});
+    inner_ptr = s2.data();
+    // The inner span must not alias the outer one.
+    EXPECT_NE(static_cast<void*>(s1.data()), static_cast<void*>(s2.data()));
+  }
+  // Outer data survives the inner rewind...
+  for (std::uint64_t v : s1) EXPECT_EQ(v, 1u);
+  // ...and the inner region is reusable.
+  auto s3 = a.make_span<std::uint64_t>(16);
+  EXPECT_EQ(static_cast<void*>(s3.data()), inner_ptr);
+}
+
+TEST(Arena, RespectsAlignment) {
+  core::Arena a;
+  (void)a.allocate(1);  // misalign the bump pointer
+  struct alignas(64) Wide {
+    double d[8];
+  };
+  auto s = a.make_span<Wide>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % 64, 0u);
+  (void)a.allocate(3);
+  void* p = a.allocate(8, 32);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 32, 0u);
+}
+
+TEST(Arena, GrowsAcrossChunksAndRetainsFootprint) {
+  core::Arena a;
+  core::ArenaScope scope(a);
+  // Force several chunks.
+  for (int i = 0; i < 40; ++i) (void)a.make_span<double>(1 << 12);
+  std::size_t reserved = a.bytes_reserved();
+  EXPECT_GT(a.chunk_count(), 1u);
+  a.reset();
+  // Rewind releases nothing...
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+  // ...and the same allocation pattern fits without growing.
+  for (int i = 0; i < 40; ++i) (void)a.make_span<double>(1 << 12);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+}
+
+TEST(Arena, OversizedRequestGetsOwnChunk) {
+  core::Arena a;
+  std::size_t big = core::Arena::kDefaultChunkBytes * 3;
+  auto s = a.make_span<std::uint8_t>(big);
+  ASSERT_EQ(s.size(), big);
+  s[0] = 1;
+  s[big - 1] = 2;
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[big - 1], 2);
+}
+
+TEST(WorkerArena, PoolWorkersGetDistinctStableArenas) {
+  parallel::ensure_started();
+  // From the (adopted-as-worker-0) main thread, the arena is stable
+  // across calls.
+  core::Arena* mine = &core::worker_arena();
+  EXPECT_EQ(mine, &core::worker_arena());
+
+  // Distinct workers see distinct arenas: collect arena addresses from
+  // parallel bodies and check nobody shared a slot while running
+  // concurrently (each body also bump-allocates safely).
+  std::vector<const void*> seen(parallel::worker_slots() * 4, nullptr);
+  parallel::parallel_for(
+      0, seen.size(),
+      [&](std::size_t i) {
+        core::Arena& a = core::worker_arena();
+        core::ArenaScope scope(a);
+        auto s = a.make_span<std::uint64_t>(64, std::uint64_t{i});
+        EXPECT_EQ(s[63], i);
+        seen[i] = &a;
+      },
+      /*granularity=*/1, /*granularity_floor=*/1);
+  for (const void* p : seen) EXPECT_NE(p, nullptr);
+}
+
+TEST(WorkerArena, ExternalAdoptionGetsWorkerSlotArena) {
+  parallel::ensure_started();
+  core::Arena* adopted_arena = nullptr;
+  core::Arena* fallback_arena = nullptr;
+  std::thread outsider([&] {
+    // Without adoption: thread-local fallback.
+    fallback_arena = &core::worker_arena();
+    void* warm;
+    {
+      core::ArenaScope scope(*fallback_arena);
+      warm = fallback_arena->allocate(256);
+    }
+    {
+      parallel::ExternalWorkerScope adopt;
+      ASSERT_TRUE(adopt.adopted());
+      adopted_arena = &core::worker_arena();
+      // The adopted slot arena is a registry slot, not the thread-local.
+      EXPECT_NE(adopted_arena, fallback_arena);
+      // It is usable and epoch-disciplined from the adopter.
+      core::ArenaScope scope(*adopted_arena);
+      auto s = adopted_arena->make_span<double>(128, 3.5);
+      EXPECT_EQ(s[127], 3.5);
+    }
+    // After release the thread falls back to its local arena, whose
+    // memory is still warm.
+    EXPECT_EQ(&core::worker_arena(), fallback_arena);
+    core::ArenaScope scope(*fallback_arena);
+    EXPECT_EQ(fallback_arena->allocate(256), warm);
+  });
+  outsider.join();
+  ASSERT_NE(adopted_arena, nullptr);
+}
+
+TEST(WorkerArena, AdoptersReuseSlotArenasAcrossThreads) {
+  parallel::ensure_started();
+  // Serial adopters land on registry slots; with no concurrent
+  // adopters, repeat adoption reuses the same (warm) slot arena.
+  std::set<core::Arena*> arenas;
+  for (int round = 0; round < 3; ++round) {
+    std::thread t([&] {
+      parallel::ExternalWorkerScope adopt;
+      ASSERT_TRUE(adopt.adopted());
+      arenas.insert(&core::worker_arena());
+    });
+    t.join();
+  }
+  EXPECT_EQ(arenas.size(), 1u);
+}
+
+TEST(WorkerArena, PoolRestartKeepsRegistryBounded) {
+  // Shutting down and restarting the pool must neither grow the arena
+  // registry nor hand a stale thread a slot arena it no longer owns.
+  parallel::ensure_started();
+  core::Arena* before = &core::worker_arena();
+  std::size_t reserved_before;
+  {
+    core::ArenaScope scope(*before);
+    (void)before->allocate(1 << 12);
+    reserved_before = before->bytes_reserved();
+  }
+
+  parallel::detail::shutdown_pool();
+  // Identity went stale with the pool: this thread is an outsider now
+  // and must see its thread-local fallback, NOT the slot arena a future
+  // pool's worker 0 owns.
+  core::Arena* stale = &core::worker_arena();
+  EXPECT_NE(stale, before);
+
+  // Restart (this thread becomes worker 0 again) — same slot arena
+  // object, memory still warm, no growth.
+  parallel::ensure_started();
+  core::Arena* after = &core::worker_arena();
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after->bytes_reserved(), reserved_before);
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
