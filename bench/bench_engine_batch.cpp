@@ -12,7 +12,9 @@
 //                     (the single-thread floor).
 //
 // CORDON_BENCH_N sets the per-instance size, CORDON_BENCH_BATCH the
-// queue length; CORDON_BENCH_JSON appends machine-readable records.
+// queue length, CORDON_BENCH_REPS repeats every series (one JSON record
+// per rep, so gate scripts can compare minima instead of noisy single
+// shots); CORDON_BENCH_JSON appends machine-readable records.
 #include <cstdio>
 #include <vector>
 
@@ -25,6 +27,7 @@ int main() {
 
   const std::size_t n = bench::env_size("CORDON_BENCH_N", 2000);
   const std::size_t batch = bench::env_size("CORDON_BENCH_BATCH", 64);
+  const std::size_t reps = bench::env_size("CORDON_BENCH_REPS", 1);
 
   const auto& reg = engine::builtin_registry();
   const auto& solvers = reg.solvers();
@@ -69,19 +72,23 @@ int main() {
                  {"max_latency_s", rep.stats.max_latency_s}});
   };
 
-  engine::BatchReport seq;
-  {
-    parallel::SequentialRegion inline_only;
-    seq = exec.run(queue, {.parallel = false});
+  std::size_t failures = 0;
+  engine::BatchReport seq, one, par;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    {
+      parallel::SequentialRegion inline_only;
+      seq = exec.run(queue, {.parallel = false});
+    }
+    one = exec.run(queue, {.parallel = false});
+    par = exec.run(queue, {.parallel = true});
+
+    report_line("sequential", seq, seq.wall_s);
+    report_line("one-at-a-time", one, seq.wall_s);
+    report_line("batch-parallel", par, seq.wall_s);
+    failures += par.failed + one.failed + seq.failed;
   }
-  engine::BatchReport one = exec.run(queue, {.parallel = false});
-  engine::BatchReport par = exec.run(queue, {.parallel = true});
 
-  report_line("sequential", seq, seq.wall_s);
-  report_line("one-at-a-time", one, seq.wall_s);
-  report_line("batch-parallel", par, seq.wall_s);
-
-  if (par.failed + one.failed + seq.failed > 0) {
+  if (failures > 0) {
     std::printf("FAILURES present — batch executor is broken\n");
     return 1;
   }

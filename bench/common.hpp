@@ -24,6 +24,7 @@
 #include <type_traits>
 
 #include "src/core/dp_stats.hpp"
+#include "src/core/telemetry.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::bench {
@@ -154,6 +155,31 @@ class JsonEmitter {
       : bench_(std::move(bench_name)) {
     if (const char* path = std::getenv("CORDON_BENCH_JSON"))
       out_.open(path, std::ios::app);
+    if (out_.is_open()) telemetry_base_ = telemetry::snapshot();
+  }
+
+  /// Every enabled emitter closes its trajectory with one
+  /// `"series":"telemetry"` record: the scheduler/solver counter deltas
+  /// accumulated over the bench's lifetime (steals, parks, wakes,
+  /// rounds, relaxations...).  This is the data the thread-grid scaling
+  /// sweep needs to explain its curves — per-bench, with zero per-bench
+  /// wiring.
+  ~JsonEmitter() {
+    if (!out_.is_open()) return;
+    telemetry::Snapshot d =
+        telemetry::snapshot().delta_since(telemetry_base_);
+    using C = telemetry::Counter;
+    record({{"series", "telemetry"},
+            {"steal_attempts", d.counter(C::kSchedStealAttempts)},
+            {"steals", d.counter(C::kSchedSteals)},
+            {"parks", d.counter(C::kSchedParks)},
+            {"wakes", d.counter(C::kSchedWakes)},
+            {"jobs", d.counter(C::kSchedJobsRun)},
+            {"push_overflows", d.counter(C::kSchedPushOverflows)},
+            {"adoptions", d.counter(C::kSchedAdoptions)},
+            {"solver_rounds", d.counter(C::kSolverRounds)},
+            {"solver_states", d.counter(C::kSolverStates)},
+            {"solver_relaxations", d.counter(C::kSolverRelaxations)}});
   }
 
   [[nodiscard]] bool enabled() const { return out_.is_open(); }
@@ -182,6 +208,7 @@ class JsonEmitter {
  private:
   std::string bench_;
   std::ofstream out_;
+  telemetry::Snapshot telemetry_base_;
 };
 
 inline void print_stats_suffix(const core::DpStats& s) {

@@ -4,10 +4,12 @@
 //       Registered problem families.
 //   cordon_cli gen <problem> [--n N] [--k K] [--seed S] [--out FILE]
 //       Deterministic random instance, serialized to FILE (default stdout).
-//   cordon_cli solve [--reference] [--check] FILE...
+//   cordon_cli solve [--reference] [--check] [--trace] FILE...
 //       Solve each instance file ("-" = stdin) with the optimized
 //       algorithm; --reference uses the naive oracle instead; --check
-//       runs both and compares objectives.
+//       runs both and compares objectives; --trace records a
+//       chrome://tracing / Perfetto span trace of the run (written to
+//       $CORDON_TRACE if set, else trace.json).
 //   cordon_cli batch [--sequential] [--reference] [--mix N [--n SIZE]
 //                    [--seed S]] FILE...
 //       Run a queue through the BatchExecutor (files plus, with --mix, N
@@ -20,7 +22,8 @@
 //       asynchronous requests drawn from a pool of D distinct generated
 //       instances; every result is checked against a precomputed
 //       expected objective, and throughput / cache hit rate / queue
-//       waits are printed.
+//       waits are printed.  --metrics appends the service's Prometheus
+//       exposition (CordonService::metrics_text) to stdout.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/trace.hpp"
 #include "src/engine/batch_executor.hpp"
 #include "src/engine/instance.hpp"
 #include "src/engine/registry.hpp"
@@ -46,19 +50,20 @@ int usage() {
                "usage: cordon_cli list\n"
                "       cordon_cli gen <problem> [--n N] [--k K] [--seed S] "
                "[--out FILE]\n"
-               "       cordon_cli solve [--reference] [--check] FILE...\n"
+               "       cordon_cli solve [--reference] [--check] [--trace] FILE...\n"
                "       cordon_cli batch [--sequential] [--reference] "
                "[--mix N] [--n SIZE] [--seed S] [FILE...]\n"
                "       cordon_cli stress [--clients C] [--requests R] "
                "[--distinct D] [--n SIZE]\n"
                "                  [--seed S] [--window-us W] [--batch B] "
-               "[--cache CAP] [--reference]\n");
+               "[--cache CAP] [--reference] [--metrics]\n");
   return 2;
 }
 
 struct Args {
   std::vector<std::string> positional;
   bool reference = false, check = false, sequential = false;
+  bool trace = false, metrics = false;
   std::uint64_t n = 1000, k = 8, seed = 1, mix = 0;
   std::uint64_t clients = 4, requests = 256, distinct = 8;
   std::uint64_t window_us = 500, batch = 64, cache = 4096;
@@ -79,6 +84,10 @@ bool parse_args(int argc, char** argv, int first, Args& a) {
       a.check = true;
     else if (arg == "--sequential")
       a.sequential = true;
+    else if (arg == "--trace")
+      a.trace = true;
+    else if (arg == "--metrics")
+      a.metrics = true;
     else if (arg == "--n") {
       if (!next_u64(a.n)) return false;
     } else if (arg == "--k") {
@@ -149,6 +158,7 @@ int cmd_gen(const Args& a) {
 int cmd_solve(const Args& a) {
   if (a.positional.empty()) return usage();
   const auto& reg = engine::builtin_registry();
+  if (a.trace) telemetry::set_trace_enabled(true);
   int rc = 0;
   for (const std::string& path : a.positional) {
     engine::Instance inst = load(path);
@@ -174,6 +184,21 @@ int cmd_solve(const Args& a) {
         rc = 1;
       }
     }
+  }
+  if (a.trace) {
+    // $CORDON_TRACE would also be flushed at exit by the env hook;
+    // writing here too lets --trace work without the variable and
+    // prints where the trace went.
+    const char* env = std::getenv("CORDON_TRACE");
+    std::string trace_path =
+        env != nullptr && *env != '\0' ? env : "trace.json";
+    if (telemetry::trace_write_file(trace_path))
+      std::printf("trace written to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "cordon_cli: cannot write trace to %s\n",
+                   trace_path.c_str());
   }
   return rc;
 }
@@ -307,6 +332,8 @@ int cmd_stress(const Args& a) {
       "mean=%.3f ms, max=%.3f ms\n",
       stats.queue.mean_wait_s() * 1e3, stats.queue.max_wait_s * 1e3,
       stats.solver.mean_latency_s() * 1e3, stats.solver.max_latency_s * 1e3);
+  if (a.metrics)
+    std::printf("\n--- metrics ---\n%s", svc.metrics_text().c_str());
   if (bad != 0 || stats.failed != 0) {
     std::printf("        FAILED: %llu wrong objective(s), %llu exception(s)\n",
                 static_cast<unsigned long long>(bad),

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event Format file emitted by cordon's tracer.
+
+Checks (schema + invariants the tracer guarantees):
+  * the file is valid JSON with a `traceEvents` list,
+  * every event carries name/ph/ts/pid/tid with sane types,
+  * phases are limited to the set the tracer (or hand tooling) emits:
+    X (complete), i/I (instant), M (metadata), B/E (duration pairs),
+  * timestamps are >= 0 and non-decreasing in array order (the tracer
+    sorts on dump; viewers tolerate disorder but our writer promises it),
+  * X events have a non-negative `dur` and spans sharing a tid nest
+    properly (an overlapping-but-not-nested pair means the per-worker
+    rings got corrupted),
+  * B/E events are stack-matched per (pid, tid).
+
+Usage:
+  check_trace.py trace.json [--expect NAME]...
+
+`--expect NAME` (repeatable) asserts at least one non-metadata event
+whose name contains NAME — CI uses `--expect round` to prove a solve
+trace really carries per-round solver spans.
+
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "I", "M", "B", "E"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require >= 1 non-metadata event whose name contains NAME",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("top-level object has no traceEvents list")
+    if not events:
+        fail("traceEvents is empty")
+
+    prev_ts = None
+    open_b = {}  # (pid, tid) -> stack of B names
+    open_x = {}  # tid -> stack of (start, end, name) for nesting check
+    counted = 0
+    for idx, e in enumerate(events):
+        where = f"event #{idx}"
+        if not isinstance(e, dict):
+            fail(f"{where} is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in e:
+                fail(f"{where} lacks required field '{field}'")
+        name, ph = e["name"], e["ph"]
+        if not isinstance(name, str) or not name:
+            fail(f"{where} has a non-string or empty name")
+        if ph not in ALLOWED_PHASES:
+            fail(f"{where} ('{name}') has unexpected phase '{ph}'")
+        if ph == "M":
+            continue  # metadata rows carry no ts / timeline semantics
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where} ('{name}') has invalid ts {ts!r}")
+        if prev_ts is not None and ts < prev_ts:
+            fail(
+                f"{where} ('{name}') breaks monotonicity: "
+                f"ts {ts} after {prev_ts}"
+            )
+        prev_ts = ts
+        counted += 1
+
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ('{name}') X event has invalid dur {dur!r}")
+            # Proper nesting per tid: pop finished spans, then this span
+            # must end before every still-open enclosing span does.
+            stack = open_x.setdefault(e["tid"], [])
+            while stack and stack[-1][1] <= ts:
+                stack.pop()
+            end = ts + dur
+            # Tolerance: ts/dur are rounded to 1e-3 us on emission, so
+            # a child may appear to outlive its parent by one rounding
+            # step at each end.
+            if stack and end > stack[-1][1] + 2e-3:
+                fail(
+                    f"{where} ('{name}' [{ts}, {end}]) overlaps but does "
+                    f"not nest inside '{stack[-1][2]}' "
+                    f"[{stack[-1][0]}, {stack[-1][1]}] on tid {e['tid']}"
+                )
+            stack.append((ts, end, name))
+        elif ph == "B":
+            open_b.setdefault((e["pid"], e["tid"]), []).append(name)
+        elif ph == "E":
+            stack = open_b.get((e["pid"], e["tid"]), [])
+            if not stack:
+                fail(f"{where} ('{name}') E without a matching B")
+            stack.pop()
+
+    for (pid, tid), stack in open_b.items():
+        if stack:
+            fail(
+                f"unmatched B event(s) {stack} left open on "
+                f"pid {pid} tid {tid}"
+            )
+
+    for want in args.expect:
+        if not any(
+            want in e.get("name", "")
+            for e in events
+            if isinstance(e, dict) and e.get("ph") != "M"
+        ):
+            fail(f"no non-metadata event name contains '{want}'")
+
+    print(
+        f"check_trace: OK: {counted} timeline event(s), "
+        f"{len(events) - counted} metadata row(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -37,11 +37,17 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # Metadata header so trajectories from different machines are never
-# compared silently.
+# compared silently.  `threads` is the actual worker count the scheduler
+# will use (CORDON_NUM_THREADS, else the machine's core count) — the
+# same number every record's "threads" field carries — and
+# `cordon_num_threads` preserves the raw env setting ("unset" when the
+# default applied), so multi-thread trajectories are trustworthy and
+# reproducible.
 {
-  printf '{"bench":"meta","host":"%s","threads":"%s","n":"%s","date":"%s","git":"%s"}\n' \
+  printf '{"bench":"meta","host":"%s","threads":%s,"cordon_num_threads":"%s","n":"%s","date":"%s","git":"%s"}\n' \
     "$(uname -m)" \
-    "${CORDON_NUM_THREADS:-auto}" \
+    "${CORDON_NUM_THREADS:-$(nproc)}" \
+    "${CORDON_NUM_THREADS:-unset}" \
     "${CORDON_BENCH_N:-default}" \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"

@@ -26,6 +26,7 @@
 
 #include "src/core/arena.hpp"
 #include "src/core/dp_dag.hpp"
+#include "src/core/trace.hpp"
 #include "src/core/dp_stats.hpp"
 #include "src/core/kernels.hpp"
 
@@ -44,6 +45,8 @@ template <PhaseParallelProblem P>
 std::uint64_t run_phase_parallel(P& problem) {
   std::uint64_t rounds = 0;
   while (!problem.done()) {
+    telemetry::TraceSpan round_span("phase.round", "solver");
+    telemetry::count(telemetry::Counter::kSolverRounds);
     problem.round();
     ++rounds;
   }
@@ -150,6 +153,8 @@ class ExplicitCordon {
     std::size_t remaining = n;
     while (remaining > 0) {
       ++res.rounds;
+      telemetry::TraceSpan round_span("dag.round", "solver");
+      telemetry::count(telemetry::Counter::kSolverRounds);
       // Step 2: sentinel iff some tentative source successfully relaxes
       // i; blocked = descendants (inclusive) of sentinel states — one
       // pass in state order suffices because src < dst on every edge.
@@ -214,6 +219,8 @@ class ExplicitCordon {
     std::size_t remaining = n;
     while (remaining > 0) {
       ++res.rounds;
+      telemetry::TraceSpan round_span("dag.round", "solver");
+      telemetry::count(telemetry::Counter::kSolverRounds);
       // Step 2: sentinels.  j tentative relaxing i tentative successfully.
       std::vector<bool> sentinel(n, false);
       // Blocked = descendants (inclusive) of sentinel states; a single

@@ -9,11 +9,47 @@
 // machine.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 
 namespace cordon::core {
+
+/// One named stat value, the unit shared by every serialization of the
+/// stats structs below: the stream operators, the service's
+/// `metrics_text()` Prometheus exposition, and the bench JSON records
+/// all iterate the same `to_json_fields()` arrays, so adding a field to
+/// a struct propagates everywhere at once.  `monotonic` distinguishes
+/// counters (exposed as `*_total`) from level/ratio gauges;
+/// `integral` picks the stream formatting (counters print as integers,
+/// ratios as doubles).
+struct StatField {
+  const char* name;
+  double value;
+  bool monotonic = true;
+  bool integral = true;
+};
+
+namespace detail {
+
+template <std::size_t N>
+std::ostream& write_fields(std::ostream& os,
+                           const std::array<StatField, N>& fields) {
+  os << '{';
+  for (std::size_t i = 0; i < N; ++i) {
+    if (i != 0) os << ", ";
+    os << fields[i].name << '=';
+    if (fields[i].integral)
+      os << static_cast<std::uint64_t>(fields[i].value);
+    else
+      os << fields[i].value;
+  }
+  return os << '}';
+}
+
+}  // namespace detail
 
 /// Counters accumulated by one algorithm run.  `relaxations` counts cost
 /// function / DP-value evaluations (the unit of "work" in the paper's
@@ -110,12 +146,20 @@ struct CacheStats {
     return lookups == 0 ? 0.0
                         : static_cast<double>(hits) / static_cast<double>(lookups);
   }
+
+  /// The canonical field list consumed by operator<< and metrics_text().
+  [[nodiscard]] std::array<StatField, 5> to_json_fields() const {
+    return {{{"hits", static_cast<double>(hits)},
+             {"misses", static_cast<double>(misses)},
+             {"insertions", static_cast<double>(insertions)},
+             {"evictions", static_cast<double>(evictions)},
+             {"hit_rate", hit_rate(), /*monotonic=*/false,
+              /*integral=*/false}}};
+  }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const CacheStats& s) {
-  return os << "{hits=" << s.hits << ", misses=" << s.misses
-            << ", insertions=" << s.insertions << ", evictions=" << s.evictions
-            << ", hit_rate=" << s.hit_rate() << "}";
+  return detail::write_fields(os, s.to_json_fields());
 }
 
 /// Admission-queue latency counters: how long requests sat between
@@ -143,12 +187,19 @@ struct QueueStats {
     return enqueued == 0 ? 0.0
                          : total_wait_s / static_cast<double>(enqueued);
   }
+
+  /// The canonical field list consumed by operator<< and metrics_text().
+  [[nodiscard]] std::array<StatField, 3> to_json_fields() const {
+    return {{{"enqueued", static_cast<double>(enqueued)},
+             {"mean_wait_s", mean_wait_s(), /*monotonic=*/false,
+              /*integral=*/false},
+             {"max_wait_s", max_wait_s, /*monotonic=*/false,
+              /*integral=*/false}}};
+  }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const QueueStats& s) {
-  return os << "{enqueued=" << s.enqueued
-            << ", mean_wait_s=" << s.mean_wait_s()
-            << ", max_wait_s=" << s.max_wait_s << "}";
+  return detail::write_fields(os, s.to_json_fields());
 }
 
 /// Thread-safe accumulator used inside parallel loops; convert to DpStats

@@ -4,16 +4,30 @@
 #include <exception>
 
 #include "src/core/arena.hpp"
+#include "src/core/trace.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::engine {
 
 namespace {
 
+// Trace event names must have static storage (the ring stores the
+// pointer, and the dump may happen after the Instance is gone): map the
+// dynamic kind string onto the known family literals.
+const char* solve_span_name(const std::string& kind) {
+  static constexpr const char* kKnown[] = {"dag",  "gap", "glws",
+                                           "kglws", "lcs", "lis",
+                                           "oat",  "obst", "treeglws"};
+  for (const char* k : kKnown)
+    if (kind == k) return k;
+  return "solve";
+}
+
 BatchItem solve_one(const ProblemRegistry& reg, const Instance& inst,
                     bool use_reference) {
   BatchItem item;
   item.kind = inst.kind;
+  telemetry::TraceSpan span(solve_span_name(inst.kind), "engine");
   auto t0 = std::chrono::steady_clock::now();
   try {
     const Solver& solver = reg.at(inst.kind);
@@ -37,6 +51,11 @@ BatchReport BatchExecutor::run(std::span<const Instance> queue,
   // onto the shared pool instead of degrading to inline execution.
   // No-op when the calling thread already is a worker.
   parallel::ExternalWorkerScope adopt;
+
+  telemetry::count(telemetry::Counter::kEngineBatchRuns);
+  telemetry::count(telemetry::Counter::kEngineSolves, queue.size());
+  telemetry::TraceSpan batch_span("batch", "engine");
+  batch_span.arg("requests", queue.size());
 
   BatchReport report;
   report.items.resize(queue.size());
@@ -85,6 +104,8 @@ BatchReport BatchExecutor::run(std::span<const Instance> queue,
     report.stats += s.stats;
     report.failed += s.failed;
   }
+  if (report.failed != 0)
+    telemetry::count(telemetry::Counter::kEngineSolveErrors, report.failed);
   return report;
 }
 

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "src/core/arena.hpp"
+#include "src/core/trace.hpp"
 #include "src/gap/gap.hpp"
 #include "src/glws/envelope_tools.hpp"
 #include "src/parallel/primitives.hpp"
@@ -111,6 +112,7 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
 
   while (!done()) {
     stats.add_round();
+    telemetry::RoundSpan round_span("gap.round", stats);
     core::ArenaScope round_scope(arena);
     // Relaxed atomic caps over a plain arena span via atomic_ref — the
     // CAS loop below is the only cross-thread access.

@@ -20,6 +20,7 @@
 #include <span>
 
 #include "src/core/arena.hpp"
+#include "src/core/trace.hpp"
 #include "src/glws/envelope_tools.hpp"
 #include "src/glws/glws.hpp"
 #include "src/parallel/primitives.hpp"
@@ -120,6 +121,7 @@ GlwsResult glws_parallel(std::size_t n, double d0, const CostFn& w,
   std::size_t now = 0;
   while (now < n) {
     stats.add_round();
+    telemetry::RoundSpan round_span("glws.round", stats);
     std::size_t cordon =
         find_cordon(n, now, b, convex, w, res.d, ev, e, stats);
 

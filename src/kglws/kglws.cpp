@@ -5,6 +5,7 @@
 
 #include "src/core/arena.hpp"
 #include "src/core/kernels.hpp"
+#include "src/core/trace.hpp"
 #include "src/kglws/smawk.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/parallel/scheduler.hpp"
@@ -68,6 +69,7 @@ KglwsResult run_layers(std::size_t n, std::size_t k, const LayerFn& layer) {
   prev[0] = 0.0;
   for (std::size_t kk = 1; kk <= k; ++kk) {
     ++res.stats.rounds;  // Cordon view: one frontier per layer
+    telemetry::RoundSpan round_span("kglws.round", res.stats);
     layer(prev, cur, arg, res.stats);
     cur[0] = kInf;  // zero elements cannot form kk >= 1 clusters
     std::swap(prev, cur);

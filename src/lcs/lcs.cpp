@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/core/kernels.hpp"
+#include "src/core/trace.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/parallel/sort.hpp"
 #include "src/structures/tournament_tree.hpp"
@@ -129,6 +130,7 @@ LcsResult parallel_impl(std::span<const std::uint32_t> js) {
   std::uint32_t round = 0;
   while (!tree.empty()) {
     ++round;
+    telemetry::RoundSpan round_span("lcs.round", stats);
     tree.extract_prefix_minima_into(frontier);
     stats.add_round();
     stats.add_states(frontier.size());

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/core/kernels.hpp"
+#include "src/core/trace.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/structures/tournament_tree.hpp"
 
@@ -97,6 +98,7 @@ LisResult lis_parallel(const std::vector<std::uint64_t>& a) {
   std::uint32_t round = 0;
   while (!tree.empty()) {
     ++round;
+    telemetry::RoundSpan round_span("lis.round", stats);
     tree.extract_prefix_minima_into(frontier);
     stats.add_round();
     stats.add_states(frontier.size());

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "src/core/arena.hpp"
+#include "src/core/trace.hpp"
 #include "src/oat/gw_list.hpp"
 #include "src/oat/oat.hpp"
 #include "src/parallel/primitives.hpp"
@@ -50,6 +51,7 @@ OatResult oat_parallel(const std::vector<double>& weights) {
   bool drained = false;
   while (list.size() > 1 && !drained) {
     stats.add_round();
+    telemetry::RoundSpan round_span("oat.round", stats);
     core::ArenaScope round_scope(arena);
     const std::size_t m = list.size();
     snapshot.clear();
@@ -104,6 +106,8 @@ OatResult oat_parallel(const std::vector<double>& weights) {
         stats.add_states(m);
         // The phase's parallel span: one round per combine level.
         for (std::uint32_t r = 1; r < max_depth; ++r) stats.add_round();
+        if (max_depth > 1)
+          telemetry::count(telemetry::Counter::kSolverRounds, max_depth - 1);
         drained = true;
         continue;
       }

@@ -5,6 +5,7 @@
 
 #include "src/core/arena.hpp"
 #include "src/core/kernels.hpp"
+#include "src/core/trace.hpp"
 #include "src/parallel/primitives.hpp"
 
 namespace cordon::obst {
@@ -75,6 +76,7 @@ ObstResult obst_naive(const std::vector<double>& w) {
   core::AtomicDpStats stats;
   for (std::size_t delta = 1; delta <= t.n; ++delta) {
     stats.add_round();
+    telemetry::RoundSpan round_span("obst.round", stats);
     for (std::size_t i = 0; i + delta <= t.n; ++i)
       fill_cell(t, i, i + delta, i, i + delta - 1, stats);
   }
@@ -88,6 +90,7 @@ ObstResult obst_knuth(const std::vector<double>& w) {
   core::AtomicDpStats stats;
   for (std::size_t delta = 1; delta <= t.n; ++delta) {
     stats.add_round();
+    telemetry::RoundSpan round_span("obst.round", stats);
     for (std::size_t i = 0; i + delta <= t.n; ++i) {
       std::size_t j = i + delta;
       // Knuth's ranges: best split is monotone in both endpoints.
@@ -111,6 +114,7 @@ ObstResult obst_parallel(const std::vector<double>& w) {
   // ranges because rt(i, j-1) and rt(i+1, j) live on earlier diagonals.
   for (std::size_t delta = 1; delta <= t.n; ++delta) {
     stats.add_round();
+    telemetry::RoundSpan round_span("obst.round", stats);
     std::size_t cells = t.n - delta + 1;
     parallel::parallel_for(0, cells, [&](std::size_t i) {
       std::size_t j = i + delta;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/trace.hpp"
 #include "src/parallel/event_count.hpp"
 #include "src/parallel/work_deque.hpp"
 
@@ -193,8 +194,15 @@ detail::Job* Pool::try_steal(std::size_t self, std::uint64_t& rng) {
   for (std::size_t attempt = 0; attempt < 2 * slots(); ++attempt) {
     std::size_t victim = next_rand(rng) % slots();
     if (victim == self) continue;
-    if (detail::Job* job = deques[victim]->steal()) return job;
+    if (detail::Job* job = deques[victim]->steal()) {
+      // Flush the probe count once per sweep, not per probe.
+      telemetry::count(telemetry::Counter::kSchedStealAttempts, attempt + 1);
+      telemetry::count(telemetry::Counter::kSchedSteals);
+      telemetry::gauge_add(telemetry::Gauge::kSchedDequeJobs, -1);
+      return job;
+    }
   }
+  telemetry::count(telemetry::Counter::kSchedStealAttempts, 2 * slots());
   return nullptr;
 }
 
@@ -207,14 +215,25 @@ bool Pool::any_work(std::size_t self) const {
 }
 
 void Pool::run_job(detail::Job* job) {
-  job->run();
+  telemetry::count(telemetry::Counter::kSchedJobsRun);
+  {
+    // One span per job taken off a deque — the stolen/helped half of a
+    // par_do.  The inline fast path (pop_job succeeding in par_do) is
+    // deliberately not traced: it dominates event volume and carries no
+    // scheduling information.
+    telemetry::TraceSpan span("steal_run", "sched");
+    job->run();
+  }
   // A join-waiter may be parked on this job's completion flag.  The
   // fence orders run()'s done-store before the counter read (producer
   // half of the store-buffer argument against wait_for's park path);
   // when nobody is join-parked — the overwhelmingly common case — the
   // cost is this fence plus one load.
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (join_parked.load(std::memory_order_seq_cst) > 0) sleepers.notify_all();
+  if (join_parked.load(std::memory_order_seq_cst) > 0) {
+    telemetry::count(telemetry::Counter::kSchedWakes);
+    sleepers.notify_all();
+  }
 }
 
 void Pool::worker_loop(std::size_t id) {
@@ -224,7 +243,10 @@ void Pool::worker_loop(std::size_t id) {
   std::uint64_t rng = 0x9e3779b97f4a7c15ull * (id + 1) + 1;
   while (!shutting_down.load(std::memory_order_acquire)) {
     detail::Job* job = deques[id]->pop();
-    if (job == nullptr) job = try_steal(id, rng);
+    if (job != nullptr)
+      telemetry::gauge_add(telemetry::Gauge::kSchedDequeJobs, -1);
+    else
+      job = try_steal(id, rng);
     if (job != nullptr) {
       run_job(job);
       continue;
@@ -250,7 +272,13 @@ void Pool::worker_loop(std::size_t id) {
       sleepers.cancel_wait();
       continue;
     }
-    sleepers.commit_wait(key);
+    telemetry::count(telemetry::Counter::kSchedParks);
+    telemetry::gauge_add(telemetry::Gauge::kSchedParkedWorkers, 1);
+    {
+      telemetry::TraceSpan span("park", "sched");
+      sleepers.commit_wait(key);
+    }
+    telemetry::gauge_add(telemetry::Gauge::kSchedParkedWorkers, -1);
   }
 }
 
@@ -268,15 +296,26 @@ bool push_job(Job* job) {
   // id between check and push.
   if (t_worker_generation != p.generation) return false;
   if (p.shutting_down.load(std::memory_order_acquire)) return false;
-  if (!p.deques[t_worker_id]->push(job)) return false;  // full: run inline
+  if (!p.deques[t_worker_id]->push(job)) {
+    // Full deque: the caller runs the branch inline.
+    telemetry::count(telemetry::Counter::kSchedPushOverflows);
+    return false;
+  }
+  telemetry::gauge_add(telemetry::Gauge::kSchedDequeJobs, 1);
   // Publish-then-wake: the push above is the publication, so a parked
   // worker (or join-waiter) can now take the job.  No-op in one fence +
   // one load when nobody is parked.
+  telemetry::count(telemetry::Counter::kSchedWakes);
   p.sleepers.notify_one();
   return true;
 }
 
-Job* pop_job() { return pool().deques[t_worker_id]->pop(); }
+Job* pop_job() {
+  Job* job = pool().deques[t_worker_id]->pop();
+  if (job != nullptr)
+    telemetry::gauge_add(telemetry::Gauge::kSchedDequeJobs, -1);
+  return job;
+}
 
 void wait_for(Job* job) {
   Pool& p = pool();
@@ -285,7 +324,10 @@ void wait_for(Job* job) {
   while (!job->done.load(std::memory_order_acquire)) {
     // Helping: run other jobs so nested joins cannot deadlock.
     Job* other = p.deques[t_worker_id]->pop();
-    if (other == nullptr) other = p.try_steal(t_worker_id, rng);
+    if (other != nullptr)
+      telemetry::gauge_add(telemetry::Gauge::kSchedDequeJobs, -1);
+    else
+      other = p.try_steal(t_worker_id, rng);
     if (other != nullptr) {
       p.run_job(other);
       idle_sweeps = 0;
@@ -314,7 +356,13 @@ void wait_for(Job* job) {
       p.join_parked.fetch_sub(1, std::memory_order_seq_cst);
       p.sleepers.cancel_wait();
     } else {
-      p.sleepers.commit_wait(key);
+      telemetry::count(telemetry::Counter::kSchedParks);
+      telemetry::gauge_add(telemetry::Gauge::kSchedParkedWorkers, 1);
+      {
+        telemetry::TraceSpan span("join_park", "sched");
+        p.sleepers.commit_wait(key);
+      }
+      telemetry::gauge_add(telemetry::Gauge::kSchedParkedWorkers, -1);
       p.join_parked.fetch_sub(1, std::memory_order_seq_cst);
     }
     idle_sweeps = 0;
@@ -340,8 +388,11 @@ bool adopt_external_worker() {
       t_worker_id = p.n + i;
       t_is_worker = true;
       t_worker_generation = p.generation;
+      telemetry::count(telemetry::Counter::kSchedAdoptions);
+      telemetry::trace_instant("adopt", "sched");
       // The adopter is about to publish forks onto a fresh deque: give
       // a parked worker a head start on stealing them.
+      telemetry::count(telemetry::Counter::kSchedWakes);
       p.sleepers.notify_one();
       return true;
     }

@@ -1,13 +1,16 @@
 #include "src/service/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "src/core/arena.hpp"
+#include "src/core/trace.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::service {
@@ -31,6 +34,17 @@ std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
   // does not depend on cache contents.
   if (stopping_.load(std::memory_order_acquire))
     throw std::runtime_error("CordonService: submit after shutdown");
+  telemetry::TraceSpan submit_span("submit", "service");
+  auto submit_t0 = std::chrono::steady_clock::now();
+  auto record_submit = [&] {
+    telemetry::count(telemetry::Counter::kServiceSubmits);
+    telemetry::observe(
+        telemetry::Histogram::kServiceSubmitNs,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - submit_t0)
+                .count()));
+  };
   // Hash-first probe, one serialization total: the canonical bytes go
   // into a thread-local buffer whose capacity is reused across submits
   // (zero allocation when warm), the 64-bit key hash is computed from
@@ -53,6 +67,7 @@ std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
       // observe completed > submitted.
       submitted_.fetch_add(1);
       hit_completed_.fetch_add(1);
+      record_submit();
       std::promise<engine::SolveResult> ready;
       ready.set_value(*std::move(hit));
       return ready.get_future();
@@ -74,6 +89,8 @@ std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
     // holds at every instant.
     submitted_.fetch_add(1);
   }
+  telemetry::gauge_add(telemetry::Gauge::kServiceQueueDepth, 1);
+  record_submit();
   cv_.notify_one();
   return fut;
 }
@@ -108,6 +125,56 @@ std::size_t CordonService::cache_size() const {
   return cache_ == nullptr ? 0 : cache_->size();
 }
 
+namespace {
+
+// Renders a StatField array under a metric-name prefix.  The field list
+// is the same one the human-readable stream operators iterate
+// (core::StatField::to_json_fields), so the two surfaces cannot drift:
+// monotonic fields become `<prefix><name>_total` counters, the rest
+// plain gauges (e.g. cordon_service_cache_hit_rate).
+template <std::size_t N>
+void write_stat_fields(std::ostream& os, const char* prefix,
+                       const std::array<core::StatField, N>& fields) {
+  for (const core::StatField& f : fields) {
+    os << prefix << f.name << (f.monotonic ? "_total" : "") << ' ';
+    if (f.integral) {
+      os << static_cast<std::uint64_t>(f.value);
+    } else {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.10g", f.value);
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+std::string CordonService::metrics_text() const {
+  std::ostringstream os;
+  telemetry::write_prometheus(os, telemetry::snapshot());
+
+  ServiceStats s = stats();
+  os << "# HELP cordon_service_submitted_total Requests admitted by submit()\n"
+        "# TYPE cordon_service_submitted_total counter\n"
+     << "cordon_service_submitted_total " << s.submitted << '\n'
+     << "# HELP cordon_service_completed_total Futures fulfilled with a "
+        "result\n# TYPE cordon_service_completed_total counter\n"
+     << "cordon_service_completed_total " << s.completed << '\n'
+     << "# HELP cordon_service_failed_total Futures fulfilled with an "
+        "exception\n# TYPE cordon_service_failed_total counter\n"
+     << "cordon_service_failed_total " << s.failed << '\n'
+     << "# HELP cordon_service_largest_batch Most requests in one dispatch\n"
+        "# TYPE cordon_service_largest_batch gauge\n"
+     << "cordon_service_largest_batch " << s.largest_batch << '\n'
+     << "# HELP cordon_service_cache_entries Result-cache entries resident\n"
+        "# TYPE cordon_service_cache_entries gauge\n"
+     << "cordon_service_cache_entries " << cache_size() << '\n';
+  write_stat_fields(os, "cordon_service_cache_", s.cache.to_json_fields());
+  write_stat_fields(os, "cordon_service_queue_", s.queue.to_json_fields());
+  return os.str();
+}
+
 void CordonService::dispatch_loop() {
   // Adopt an external worker slot for the thread's lifetime so the
   // executor's forks below go onto the shared pool instead of running
@@ -134,11 +201,16 @@ void CordonService::dispatch_loop() {
     // per batch therefore bounds every request's queue wait by
     // batch_window plus the batch ahead of it, never 2x the window.
     auto deadline = queue_.front().enqueued + opt_.batch_window;
-    while (!stopping_ && queue_.size() < opt_.max_batch &&
-           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    {
+      telemetry::TraceSpan window_span("batch_window", "service");
+      while (!stopping_ && queue_.size() < opt_.max_batch &&
+             cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+      }
     }
 
     std::size_t take = std::min(queue_.size(), opt_.max_batch);
+    telemetry::gauge_add(telemetry::Gauge::kServiceQueueDepth,
+                         -static_cast<std::int64_t>(take));
     std::vector<Pending> taken;
     taken.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
@@ -153,6 +225,16 @@ void CordonService::dispatch_loop() {
 
 void CordonService::run_batch(std::vector<Pending> taken) {
   auto dispatched_at = std::chrono::steady_clock::now();
+  telemetry::count(telemetry::Counter::kServiceBatches);
+  telemetry::TraceSpan batch_span("batch", "service");
+  batch_span.arg("requests", taken.size());
+  for (const Pending& p : taken)
+    telemetry::observe(
+        telemetry::Histogram::kServiceQueueWaitNs,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                dispatched_at - p.enqueued)
+                .count()));
 
   // Batch assembly runs inside one arena epoch of the dispatcher's
   // worker arena (the dispatcher holds an adopted slot for its
@@ -209,10 +291,22 @@ void CordonService::run_batch(std::vector<Pending> taken) {
     batch.push_back(std::move(taken[g.leader].inst));
   }
 
+  telemetry::count(telemetry::Counter::kServiceCoalesced,
+                   taken.size() - groups.size());
+  batch_span.arg("groups", groups.size());
+
   engine::BatchReport report;
-  if (!batch.empty())
+  if (!batch.empty()) {
+    auto solve_t0 = std::chrono::steady_clock::now();
     report = executor_.run(
         batch, {.parallel = true, .use_reference = opt_.use_reference});
+    telemetry::observe(
+        telemetry::Histogram::kServiceBatchSolveNs,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - solve_t0)
+                .count()));
+  }
 
   std::uint64_t completed = 0, failed = 0;
   for (std::size_t i = 0; i < to_solve.size(); ++i) {

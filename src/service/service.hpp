@@ -35,6 +35,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -102,6 +103,15 @@ class CordonService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] std::size_t cache_size() const;
   [[nodiscard]] const ServiceOptions& options() const noexcept { return opt_; }
+
+  /// Prometheus text exposition of the full observability surface: the
+  /// process-wide telemetry registry (scheduler steal/park/wake
+  /// counters, solver round/relaxation totals, submit-latency and
+  /// queue-wait histograms — see docs/OBSERVABILITY.md for the catalog)
+  /// followed by this service's own counters, cache stats (including
+  /// hit rate), and queue-wait summary.  Safe to call concurrently with
+  /// submits; surfaced by `cordon_cli stress --metrics`.
+  [[nodiscard]] std::string metrics_text() const;
 
  private:
   struct Pending {

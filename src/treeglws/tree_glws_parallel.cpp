@@ -28,6 +28,7 @@
 #include <span>
 
 #include "src/core/arena.hpp"
+#include "src/core/trace.hpp"
 #include "src/parallel/primitives.hpp"
 #include "src/structures/hld.hpp"
 #include "src/structures/persistent_treap.hpp"
@@ -165,6 +166,7 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
 
   while (!roots.empty()) {
     stats.add_round();
+    telemetry::RoundSpan round_span("treeglws.round", stats);
     probed.clear();
 
     // Prefix-doubling probe, synchronized across subtrees.  A subtree
