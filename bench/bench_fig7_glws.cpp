@@ -25,40 +25,53 @@ int main() {
 
   bench::print_header(
       "Figure 7: parallel convex GLWS (post office), time vs k",
-      "open_cost   k        ours(s)   ours-1t(s)  seq(s)    verified "
-      " counters");
+      "open_cost   k        ours(s)   ours-1t(s)  seq(s)    path     "
+      " verified  counters");
   bench::JsonEmitter json("bench_fig7_glws");
 
   // Sweep opening cost downward: smaller cost => more offices (larger k).
   for (double open = 1e9; open >= 1e1; open /= 100.0) {
     glws::CostFn w = glws::post_office_cost(x, open);
     glws::EFn e = glws::identity_e();
-    glws::GlwsResult par_res, seq_res;
-    auto [par, one] = bench::time_par_and_seq([&] {
-      par_res = glws::glws_parallel(n, 0.0, w, e, glws::Shape::kConvex);
+    parallel::ensure_started();
+    // Production path (adaptive routing included) at the current pool
+    // size — the series the scaling gate reads.
+    glws::GlwsResult auto_res;
+    double auto_s = bench::time_s([&] {
+      auto_res = glws::glws_auto(n, 0.0, w, e, glws::Shape::kConvex);
     });
+    // The paper's "ours (1 thread)": the raw parallel algorithm inline.
+    glws::GlwsResult par_res;
+    double one;
+    {
+      parallel::SequentialRegion seq_region;
+      one = bench::time_s([&] {
+        par_res = glws::glws_parallel(n, 0.0, w, e, glws::Shape::kConvex);
+      });
+    }
+    glws::GlwsResult seq_res;
     double seq = bench::time_s([&] {
       seq_res = glws::glws_sequential(n, 0.0, w, e, glws::Shape::kConvex);
     });
-    bool ok = std::abs(par_res.d[n] - seq_res.d[n]) <=
+    bool ok = std::abs(auto_res.d[n] - seq_res.d[n]) <=
               1e-6 * (1.0 + std::abs(seq_res.d[n]));
     // k = number of offices = length of the best-decision chain.
     std::size_t k = 0;
-    for (std::size_t i = n; i != 0; i = par_res.best[i]) ++k;
-    std::printf("%-11.0e %-8zu %-9.4f %-11.4f %-9.4f %-8s", open, k, par, one,
-                seq, ok ? "yes" : "MISMATCH");
-    bench::print_stats_suffix(par_res.stats);
+    for (std::size_t i = n; i != 0; i = auto_res.best[i]) ++k;
+    std::printf("%-11.0e %-8zu %-9.4f %-11.4f %-9.4f %-9s %-8s", open, k,
+                auto_s, one, seq, core::solve_path_name(auto_res.path),
+                ok ? "yes" : "MISMATCH");
+    bench::print_stats_suffix(auto_res.stats);
     std::printf("\n");
-    json.record({{"series", "ours"},
-                 {"n", n},
-                 {"k", k},
-                 {"seconds", par},
-                 {"one_thread_s", one},
-                 {"sequential_s", seq},
-                 {"verified", ok ? 1 : 0},
-                 {"states", par_res.stats.states},
-                 {"relaxations", par_res.stats.relaxations},
-                 {"rounds", par_res.stats.rounds}});
+    json.record_scaling({.series = "ours",
+                         .n = n,
+                         .seconds = auto_s,
+                         .one_thread_s = one,
+                         .sequential_s = seq,
+                         .path = auto_res.path,
+                         .verified = ok,
+                         .stats = auto_res.stats,
+                         .extra = {{"k", k}}});
   }
   std::printf(
       "\nShape check (paper): sequential time ~flat in k (O(n log n) work); "

@@ -23,6 +23,7 @@ int main() {
   bench::print_header(
       "A5: k-GLWS engines (1D k-means objective)",
       "k     naive(s)   smawk(s)  dc(s)     dc-1t(s)  evals(smawk/dc)");
+  bench::JsonEmitter json("bench_kglws");
   for (std::size_t k : {2, 8, 32}) {
     double tn = -1;
     kglws::KglwsResult nv;
@@ -38,6 +39,16 @@ int main() {
                 td, td1, static_cast<unsigned long long>(sv.stats.relaxations),
                 static_cast<unsigned long long>(dv.stats.relaxations),
                 ok ? "" : "MISMATCH");
+    json.record({{"series", "dc"},
+                 {"n", n},
+                 {"k", k},
+                 {"seconds", td},
+                 {"one_thread_s", td1},
+                 {"sequential_s", ts},
+                 {"verified", ok ? 1 : 0},
+                 {"states", dv.stats.states},
+                 {"relaxations", dv.stats.relaxations},
+                 {"rounds", dv.stats.rounds}});
   }
   std::printf("\nShape check: SMAWK evals ~ O(kn), D&C ~ O(kn log n); both "
               "beat naive O(kn^2)\nby orders of magnitude; D&C "

@@ -14,6 +14,7 @@ int main() {
   bench::print_header("A1: LIS rounds == k across input shapes",
                       "shape        k        ours(s)   ours-1t(s)  seq(s) "
                       "   counters");
+  bench::JsonEmitter json("bench_lis");
 
   auto run = [&](const char* name, std::vector<std::uint64_t> a) {
     lis::LisResult par_res, seq_res;
@@ -24,6 +25,16 @@ int main() {
                 one, seq);
     bench::print_stats_suffix(par_res.stats);
     std::printf("  %s\n", par_res.length == seq_res.length ? "" : "MISMATCH");
+    json.record({{"series", name},
+                 {"n", a.size()},
+                 {"k", par_res.length},
+                 {"seconds", par},
+                 {"one_thread_s", one},
+                 {"sequential_s", seq},
+                 {"verified", par_res.length == seq_res.length ? 1 : 0},
+                 {"states", par_res.stats.states},
+                 {"relaxations", par_res.stats.relaxations},
+                 {"rounds", par_res.stats.rounds}});
   };
 
   std::vector<std::uint64_t> a(n);

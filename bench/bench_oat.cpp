@@ -15,6 +15,7 @@ int main() {
 
   bench::print_header("A4a: OAT rounds and times (random integer weights)",
                       "n        gw(s)     par(s)    rounds   height  equal");
+  bench::JsonEmitter json("bench_oat");
   for (std::size_t sz : {n / 4, n / 2, n}) {
     std::vector<double> w(sz);
     for (std::size_t i = 0; i < sz; ++i)
@@ -22,9 +23,18 @@ int main() {
     oat::OatResult gw, pv;
     double tg = bench::time_s([&] { gw = oat::oat_garsia_wachs(w); });
     double tp = bench::time_s([&] { pv = oat::oat_parallel(w); });
+    bool ok = gw.levels == pv.levels;
     std::printf("%-8zu %-9.4f %-9.4f %-8llu %-7u %s\n", sz, tg, tp,
                 static_cast<unsigned long long>(pv.stats.rounds), pv.height,
-                gw.levels == pv.levels ? "yes" : "MISMATCH");
+                ok ? "yes" : "MISMATCH");
+    json.record({{"series", "par"},
+                 {"n", sz},
+                 {"seconds", tp},
+                 {"sequential_s", tg},
+                 {"verified", ok ? 1 : 0},
+                 {"states", pv.stats.states},
+                 {"relaxations", pv.stats.relaxations},
+                 {"rounds", pv.stats.rounds}});
   }
 
   bench::print_header("A4b: Lemma 5.1 — OAT height vs weight word size W",

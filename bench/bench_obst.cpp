@@ -15,6 +15,7 @@ int main() {
   bench::print_header(
       "A6: OBST engines",
       "n       naive(s)  knuth(s)  wave(s)   wave-1t(s)  relax(naive/knuth)");
+  bench::JsonEmitter json("bench_obst");
   for (std::size_t n : {base / 4, base / 2, base}) {
     std::vector<double> w(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -30,6 +31,15 @@ int main() {
                 tp, tp1, static_cast<unsigned long long>(nv.stats.relaxations),
                 static_cast<unsigned long long>(kv.stats.relaxations),
                 ok ? "" : "MISMATCH");
+    json.record({{"series", "wave"},
+                 {"n", n},
+                 {"seconds", tp},
+                 {"one_thread_s", tp1},
+                 {"sequential_s", tk},
+                 {"verified", ok ? 1 : 0},
+                 {"states", pv.stats.states},
+                 {"relaxations", pv.stats.relaxations},
+                 {"rounds", pv.stats.rounds}});
   }
   std::printf("\nShape check: Knuth's DM ranges collapse ~n^3/6 relaxations "
               "to ~n^2; the wavefront\ndoes identical work with one round "

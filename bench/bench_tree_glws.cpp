@@ -50,6 +50,7 @@ int main() {
   bench::print_header("A7: Tree-GLWS across shapes",
                       "shape     n        seq(s)    par(s)    par-1t(s)  "
                       "rounds  counters");
+  bench::JsonEmitter json("bench_tree_glws");
   auto run = [&](const char* name, std::vector<std::uint32_t> parents) {
     RootedTree t(std::move(parents));
     treeglws::TreeGlwsResult sv, pv;
@@ -64,6 +65,15 @@ int main() {
                 tp, tp1, static_cast<unsigned long long>(pv.stats.rounds));
     bench::print_stats_suffix(pv.stats);
     std::printf("  %s\n", ok ? "" : "MISMATCH");
+    json.record({{"series", name},
+                 {"n", t.size()},
+                 {"seconds", tp},
+                 {"one_thread_s", tp1},
+                 {"sequential_s", ts},
+                 {"verified", ok ? 1 : 0},
+                 {"states", pv.stats.states},
+                 {"relaxations", pv.stats.relaxations},
+                 {"rounds", pv.stats.rounds}});
   };
   run("random", random_parents(n, 3));
   run("binary", binary_parents(n));

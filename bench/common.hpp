@@ -22,6 +22,7 @@
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <vector>
 
 #include "src/core/dp_stats.hpp"
 #include "src/core/telemetry.hpp"
@@ -184,7 +185,7 @@ class JsonEmitter {
 
   [[nodiscard]] bool enabled() const { return out_.is_open(); }
 
-  void record(std::initializer_list<JsonField> fields) {
+  void record(const std::vector<JsonField>& fields) {
     if (!out_.is_open()) return;
     out_ << "{\"bench\":" << JsonField::quote(bench_)
          << ",\"threads\":" << cordon::parallel::num_workers();
@@ -192,6 +193,10 @@ class JsonEmitter {
       out_ << ',' << JsonField::quote(f.key) << ':' << f.value;
     out_ << "}\n";
     out_.flush();
+  }
+
+  void record(std::initializer_list<JsonField> fields) {
+    record(std::vector<JsonField>(fields));
   }
 
   /// Convenience: a record of one timed series point plus its counters.
@@ -203,6 +208,44 @@ class JsonEmitter {
             {"states", s.states},
             {"relaxations", s.relaxations},
             {"rounds", s.rounds}});
+  }
+
+  /// One point of a family's thread-scaling curve — the record shape
+  /// scripts/check_scaling.py consumes.  Field contract:
+  ///   seconds      — the production (`*_auto`) path at the current pool
+  ///                  size: what a user gets (routing included);
+  ///   one_thread_s — the raw parallel algorithm forced inline
+  ///                  (SequentialRegion), the paper's "ours (1 thread)";
+  ///   sequential_s — the family's sequential algorithm;
+  ///   path         — core::solve_path_name of the routing `seconds`
+  ///                  took.
+  /// `threads` is stamped on every record by record().
+  struct ScalingPoint {
+    std::string series = "ours";
+    std::size_t n = 0;
+    double seconds = 0;
+    double one_thread_s = 0;
+    double sequential_s = 0;
+    core::SolvePath path = core::SolvePath::kParallel;
+    bool verified = true;
+    core::DpStats stats;
+    std::vector<JsonField> extra;  // family-specific fields (k, L, ...)
+  };
+
+  void record_scaling(const ScalingPoint& p) {
+    if (!out_.is_open()) return;
+    std::vector<JsonField> fields{{"series", p.series},
+                                  {"n", p.n},
+                                  {"seconds", p.seconds},
+                                  {"one_thread_s", p.one_thread_s},
+                                  {"sequential_s", p.sequential_s},
+                                  {"path", core::solve_path_name(p.path)},
+                                  {"verified", p.verified ? 1 : 0},
+                                  {"states", p.stats.states},
+                                  {"relaxations", p.stats.relaxations},
+                                  {"rounds", p.stats.rounds}};
+    fields.insert(fields.end(), p.extra.begin(), p.extra.end());
+    record(fields);
   }
 
  private:

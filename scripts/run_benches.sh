@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Runs the Release bench suite and consolidates every bench's
-# machine-readable records (CORDON_BENCH_JSON JSON-lines) into one
-# trajectory file, so successive PRs can prove speedups against the
-# committed baseline (BENCH_PR5.json at the repo root is the first one).
+# Runs the Release bench suite across a grid of worker counts and
+# consolidates every bench's machine-readable records
+# (CORDON_BENCH_JSON JSON-lines) into one trajectory file, so
+# successive PRs can prove speedups — and scaling — against the
+# committed baseline (BENCH_PR7.json at the repo root is the current
+# one).  scripts/check_scaling.py consumes the output.
 #
 # Usage:
 #   scripts/run_benches.sh [build-dir] [output.json]
 #
 # Environment:
-#   CORDON_BENCH_N       problem size for every bench (default: per bench;
-#                        set small, e.g. 20000, for a CI smoke)
-#   CORDON_BENCH_BATCH   engine-batch queue length
-#   CORDON_NUM_THREADS   worker threads
-#   BENCHES              space-separated override of the bench list
+#   CORDON_BENCH_THREADS  space-separated worker-count grid
+#                         (default: "1 2 4 8", plus nproc when > 8)
+#   CORDON_BENCH_N        problem size for the swept benches (default:
+#                         per bench; set e.g. 20000 for a CI smoke)
+#   CORDON_BENCH_GAP_N    problem size for bench_gap only (default 384 —
+#                         gap is quadratic, one size does NOT fit all)
+#   CORDON_BENCH_BATCH    engine-batch queue length
+#   CORDON_BENCH_REPS     engine-batch repetitions
+#   BENCHES               override of the thread-swept bench list
+#   BENCHES_ONCE          override of the run-once bench list
 #
 # The build dir must have been configured with -DCORDON_BUILD_BENCH=ON
 # (Release recommended: cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
@@ -20,11 +27,22 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build-bench}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-BENCH_PR7.json}"
 
-# The perf-relevant set: the engine/service hot paths plus every family
-# bench that emits JSON records.
-BENCHES="${BENCHES:-bench_engine_batch bench_fig7_glws bench_fig6_lcs bench_service}"
+CORES="$(nproc)"
+if [[ -n "${CORDON_BENCH_THREADS:-}" ]]; then
+  GRID="$CORDON_BENCH_THREADS"
+else
+  GRID="1 2 4 8"
+  if (( CORES > 8 )); then GRID="$GRID $CORES"; fi
+fi
+
+# Thread-swept set: the gated scaling families plus the engine batch
+# path.  Run-once set: benches whose numbers don't vary with the pool
+# size in an interesting way (the service bench manages its own pool).
+BENCHES="${BENCHES:-bench_fig7_glws bench_fig6_lcs bench_gap bench_engine_batch}"
+BENCHES_ONCE="${BENCHES_ONCE:-bench_service}"
+GAP_N="${CORDON_BENCH_GAP_N:-384}"
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "error: build dir '$BUILD_DIR' not found" >&2
@@ -37,23 +55,41 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # Metadata header so trajectories from different machines are never
-# compared silently.  `threads` is the actual worker count the scheduler
-# will use (CORDON_NUM_THREADS, else the machine's core count) — the
-# same number every record's "threads" field carries — and
-# `cordon_num_threads` preserves the raw env setting ("unset" when the
-# default applied), so multi-thread trajectories are trustworthy and
-# reproducible.
+# compared silently.  `cores` is the physical core count of the runner:
+# check_scaling.py only enforces the parallel-beats-sequential gate at
+# thread counts the hardware can actually provide, and skips (loudly)
+# when cores < the gate's thread floor.  Every bench record carries its
+# own real `threads` value, stamped by the JsonEmitter from the live
+# scheduler — the sweep never has to trust this header for that.
 {
-  printf '{"bench":"meta","host":"%s","threads":%s,"cordon_num_threads":"%s","n":"%s","date":"%s","git":"%s"}\n' \
+  printf '{"bench":"meta","host":"%s","cores":%s,"thread_grid":"%s","n":"%s","gap_n":"%s","date":"%s","git":"%s"}\n' \
     "$(uname -m)" \
-    "${CORDON_NUM_THREADS:-$(nproc)}" \
-    "${CORDON_NUM_THREADS:-unset}" \
+    "$CORES" \
+    "$GRID" \
     "${CORDON_BENCH_N:-default}" \
+    "$GAP_N" \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 } > "$tmp"
 
-for bench in $BENCHES; do
+for t in $GRID; do
+  for bench in $BENCHES; do
+    bin="$BUILD_DIR/$bench"
+    if [[ ! -x "$bin" ]]; then
+      echo "warning: $bin missing (configure with -DCORDON_BUILD_BENCH=ON); skipping" >&2
+      continue
+    fi
+    echo "== $bench (threads=$t) =="
+    if [[ "$bench" == "bench_gap" ]]; then
+      CORDON_BENCH_N="$GAP_N" CORDON_NUM_THREADS="$t" \
+        CORDON_BENCH_JSON="$tmp" "$bin"
+    else
+      CORDON_NUM_THREADS="$t" CORDON_BENCH_JSON="$tmp" "$bin"
+    fi
+  done
+done
+
+for bench in $BENCHES_ONCE; do
   bin="$BUILD_DIR/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "warning: $bin missing (configure with -DCORDON_BUILD_BENCH=ON); skipping" >&2
@@ -66,4 +102,4 @@ done
 mv "$tmp" "$OUT"
 trap - EXIT
 echo
-echo "wrote $(wc -l < "$OUT") records to $OUT"
+echo "wrote $(wc -l < "$OUT") records to $OUT (thread grid: $GRID, cores: $CORES)"

@@ -51,6 +51,21 @@ std::ostream& write_fields(std::ostream& os,
 
 }  // namespace detail
 
+/// Which algorithm actually produced a result.  The `*_auto` family
+/// entry points record the routing decision of the adaptive sequential
+/// cutoff (src/core/cutoff.hpp) here, and the engine surfaces it in
+/// SolveResult so tests and benches can assert which path ran instead
+/// of guessing from timings.
+enum class SolvePath : std::uint8_t {
+  kParallel = 0,          // phase-parallel cordon algorithm
+  kSequentialCutoff = 1,  // sequential algorithm via the adaptive cutoff
+};
+
+/// Stable label for JSON records and test messages.
+inline const char* solve_path_name(SolvePath p) noexcept {
+  return p == SolvePath::kSequentialCutoff ? "sequential_cutoff" : "parallel";
+}
+
 /// Counters accumulated by one algorithm run.  `relaxations` counts cost
 /// function / DP-value evaluations (the unit of "work" in the paper's
 /// bounds); `states` counts state visits including wasted prefix-doubling

@@ -64,6 +64,8 @@ enum class Counter : std::uint16_t {
   kSolverRounds,        // phase-parallel rounds across all solvers
   kSolverStates,        // DpStats.states finalized across all solvers
   kSolverRelaxations,   // DpStats.relaxations across all solvers
+  kSolverSeqCutoffs,    // solves routed to the sequential algorithm
+  kSolverFusedRounds,   // low-work rounds run inline (round fusion)
   kEngineBatchRuns,     // BatchExecutor::run invocations
   kEngineSolves,        // requests admitted to a batch run
   kEngineSolveErrors,   // requests whose solver threw / kind unknown
@@ -128,6 +130,10 @@ inline constexpr std::array<MetricInfo, kNumCounters> kCounterInfo{{
     {"cordon_solver_relaxations_total",
      "Cost-function evaluations across all solvers (the paper's work "
      "unit)"},
+    {"cordon_solver_seq_cutoffs_total",
+     "Solves routed to the sequential algorithm by the adaptive cutoff"},
+    {"cordon_solver_fused_rounds_total",
+     "Low-work rounds executed inline by round fusion"},
     {"cordon_engine_batch_runs_total", "BatchExecutor::run invocations"},
     {"cordon_engine_solves_total", "Requests admitted to a batch run"},
     {"cordon_engine_solve_errors_total",

@@ -42,6 +42,11 @@ struct SolveResult {
   core::DpStats stats;
   std::uint64_t effective_depth = 0;
   std::string detail;  // one human-readable line, e.g. "lis length=41 of n=100"
+  /// Which algorithm `solve` ran: kParallel, or kSequentialCutoff when
+  /// the adaptive cutoff (src/core/cutoff.hpp) routed the instance to
+  /// the family's sequential algorithm.  Always kParallel from
+  /// solve_reference (the oracle has no routing).
+  core::SolvePath path = core::SolvePath::kParallel;
 };
 
 /// A registered problem family.  `solve` runs the optimized (cordon /

@@ -32,6 +32,7 @@ struct GapResult {
   std::size_t rows = 0, cols = 0;
   double distance = 0;  // D[n][m]
   core::DpStats stats;
+  core::SolvePath path = core::SolvePath::kParallel;  // set by gap_auto
 
   [[nodiscard]] double at(std::size_t i, std::size_t j) const {
     return d[i * cols + j];
@@ -59,6 +60,15 @@ struct GapResult {
                                      const glws::CostFn& w1,
                                      const glws::CostFn& w2,
                                      glws::Shape shape);
+
+/// Production entry point: gap_seq when effective parallelism is 1 or
+/// the grid (n+1)*(m+1) is under the adaptive cutoff
+/// (core::kGapSeqCutoff, override CORDON_GAP_CUTOFF), gap_parallel
+/// otherwise.  The routing decision is recorded in GapResult::path.
+[[nodiscard]] GapResult gap_auto(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b,
+                                 const glws::CostFn& w1,
+                                 const glws::CostFn& w2, glws::Shape shape);
 
 /// Affine gap cost builder: open + extend * length, convex Monge.
 [[nodiscard]] inline glws::CostFn affine_gap_cost(double open,

@@ -18,8 +18,8 @@ class GapSolver final : public Solver {
 
   [[nodiscard]] SolveResult solve(const Instance& inst) const override {
     const auto& p = validate(inst);
-    auto r = gap::gap_parallel(p.a, p.b, p.w1.make(), p.w2.make(),
-                               p.w1.shape());
+    auto r = gap::gap_auto(p.a, p.b, p.w1.make(), p.w2.make(),
+                           p.w1.shape());
     return pack(p, r);
   }
 
@@ -54,6 +54,7 @@ class GapSolver final : public Solver {
     SolveResult out;
     out.objective = r.distance;
     out.stats = r.stats;
+    out.path = r.path;
     out.detail = "gap |a|=" + std::to_string(p.a.size()) +
                  " |b|=" + std::to_string(p.b.size()) +
                  " distance=" + std::to_string(r.distance);

@@ -23,10 +23,12 @@
 // relax states that are themselves outside every window.
 #include <atomic>
 #include <limits>
+#include <optional>
 #include <span>
 #include <utility>
 
 #include "src/core/arena.hpp"
+#include "src/core/cutoff.hpp"
 #include "src/core/trace.hpp"
 #include "src/gap/gap.hpp"
 #include "src/glws/envelope_tools.hpp"
@@ -110,9 +112,21 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
     return true;
   };
 
+  // Round fusion: near the end of a run the staircase often advances by
+  // a handful of cells per round; forking the row/column envelope loops
+  // for that is pure overhead.  The previous round's measured relaxation
+  // count decides whether the next round runs inline.
+  const std::size_t fuse_threshold = core::fuse_relax_threshold();
+  std::uint64_t prev_round_relax = std::numeric_limits<std::uint64_t>::max();
+
   while (!done()) {
     stats.add_round();
     telemetry::RoundSpan round_span("gap.round", stats);
+    std::uint64_t relax_before =
+        stats.relaxations.load(std::memory_order_relaxed);
+    std::optional<parallel::SequentialRegion> fuse_guard;
+    if (core::fuse_round(prev_round_relax, fuse_threshold))
+      fuse_guard.emplace();
     core::ArenaScope round_scope(arena);
     // Relaxed atomic caps over a plain arena span via atomic_ref — the
     // CAS loop below is the only cross-thread access.
@@ -306,12 +320,30 @@ GapResult gap_parallel(const std::vector<std::uint32_t>& a,
     });
 
     std::swap(front, new_front);  // new_front is fully rewritten next round
+    prev_round_relax =
+        stats.relaxations.load(std::memory_order_relaxed) - relax_before;
   }
 
   res.d = std::move(g.d);
   res.distance = res.at(n, m);
   res.stats = stats.snapshot();
   return res;
+}
+
+GapResult gap_auto(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b, const glws::CostFn& w1,
+                   const glws::CostFn& w2, glws::Shape shape) {
+  const std::size_t cells = (a.size() + 1) * (b.size() + 1);
+  const std::size_t cutoff =
+      core::cutoff_from_env("CORDON_GAP_CUTOFF", core::kGapSeqCutoff);
+  const std::size_t min_workers =
+      core::cutoff_from_env("CORDON_GAP_MIN_WORKERS", core::kGapMinWorkers);
+  if (core::use_sequential(cells, cutoff, min_workers)) {
+    GapResult r = gap_seq(a, b, w1, w2, shape);
+    r.path = core::SolvePath::kSequentialCutoff;
+    return r;
+  }
+  return gap_parallel(a, b, w1, w2, shape);
 }
 
 }  // namespace cordon::gap

@@ -42,6 +42,7 @@ struct GlwsResult {
   std::vector<double> d;             // D[0..n] (d[0] is the boundary)
   std::vector<std::uint32_t> best;   // best[i], i in 1..n (best[0] unused)
   core::DpStats stats;
+  core::SolvePath path = core::SolvePath::kParallel;  // set by glws_auto
 };
 
 /// O(n^2) reference (oracle).
@@ -58,5 +59,12 @@ struct GlwsResult {
 [[nodiscard]] GlwsResult glws_parallel(std::size_t n, double d0,
                                        const CostFn& w, const EFn& e,
                                        Shape shape);
+
+/// Production entry point: glws_sequential when effective parallelism is
+/// 1 or n is under the adaptive cutoff (core::kGlwsSeqCutoff, override
+/// CORDON_GLWS_CUTOFF), glws_parallel otherwise.  The routing decision
+/// is recorded in GlwsResult::path.
+[[nodiscard]] GlwsResult glws_auto(std::size_t n, double d0, const CostFn& w,
+                                   const EFn& e, Shape shape);
 
 }  // namespace cordon::glws

@@ -18,8 +18,8 @@ class GlwsSolver final : public Solver {
 
   [[nodiscard]] SolveResult solve(const Instance& inst) const override {
     const auto& p = validate(inst);
-    auto r = glws::glws_parallel(p.n, p.d0, p.cost.make(), glws::identity_e(),
-                                 p.cost.shape());
+    auto r = glws::glws_auto(p.n, p.d0, p.cost.make(), glws::identity_e(),
+                             p.cost.shape());
     return pack(p, r);
   }
 
@@ -51,6 +51,7 @@ class GlwsSolver final : public Solver {
     SolveResult out;
     out.objective = r.d.empty() ? p.d0 : r.d.back();
     out.stats = r.stats;
+    out.path = r.path;
     out.detail = "glws n=" + std::to_string(p.n) +
                  " D[n]=" + std::to_string(out.objective);
     return out;

@@ -20,6 +20,7 @@
 #include <span>
 
 #include "src/core/arena.hpp"
+#include "src/core/cutoff.hpp"
 #include "src/core/trace.hpp"
 #include "src/glws/envelope_tools.hpp"
 #include "src/glws/glws.hpp"
@@ -118,10 +119,14 @@ GlwsResult glws_parallel(std::size_t n, double d0, const CostFn& w,
   BestDecisionList b(std::vector<DecisionInterval>{{1, n, 0}});
   BestDecisionList bnew;  // concave merge scratch, capacity reused per round
 
+  // Round fusion: a round whose predecessor did almost no work (high-k
+  // regimes run thousands of rounds of ~150 relaxations) is dominated by
+  // fork and envelope-rebuild overhead; run it inline instead.
+  const std::size_t fuse_threshold = core::fuse_relax_threshold();
+  std::uint64_t prev_round_relax = std::numeric_limits<std::uint64_t>::max();
+
   std::size_t now = 0;
-  while (now < n) {
-    stats.add_round();
-    telemetry::RoundSpan round_span("glws.round", stats);
+  auto round = [&] {
     std::size_t cordon =
         find_cordon(n, now, b, convex, w, res.d, ev, e, stats);
 
@@ -149,9 +154,37 @@ GlwsResult glws_parallel(std::size_t n, double d0, const CostFn& w,
       }
     }
     now = cordon - 1;
+  };
+  while (now < n) {
+    stats.add_round();
+    telemetry::RoundSpan round_span("glws.round", stats);
+    std::uint64_t relax_before =
+        stats.relaxations.load(std::memory_order_relaxed);
+    if (core::fuse_round(prev_round_relax, fuse_threshold)) {
+      parallel::SequentialRegion seq;
+      round();
+    } else {
+      round();
+    }
+    prev_round_relax =
+        stats.relaxations.load(std::memory_order_relaxed) - relax_before;
   }
   res.stats = stats.snapshot();
   return res;
+}
+
+GlwsResult glws_auto(std::size_t n, double d0, const CostFn& w, const EFn& e,
+                     Shape shape) {
+  const std::size_t cutoff =
+      core::cutoff_from_env("CORDON_GLWS_CUTOFF", core::kGlwsSeqCutoff);
+  const std::size_t min_workers =
+      core::cutoff_from_env("CORDON_GLWS_MIN_WORKERS", core::kGlwsMinWorkers);
+  if (core::use_sequential(n, cutoff, min_workers)) {
+    GlwsResult r = glws_sequential(n, d0, w, e, shape);
+    r.path = core::SolvePath::kSequentialCutoff;
+    return r;
+  }
+  return glws_parallel(n, d0, w, e, shape);
 }
 
 }  // namespace cordon::glws

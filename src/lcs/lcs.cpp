@@ -1,9 +1,11 @@
 #include "src/lcs/lcs.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <span>
 #include <unordered_map>
 
+#include "src/core/cutoff.hpp"
 #include "src/core/kernels.hpp"
 #include "src/core/trace.hpp"
 #include "src/parallel/primitives.hpp"
@@ -127,6 +129,11 @@ LcsResult parallel_impl(std::span<const std::uint32_t> js) {
   structures::TournamentTree tree(js);
   core::AtomicDpStats stats;
   std::vector<std::size_t> frontier;  // reused: zero-alloc steady state
+  // Round fusion: a cordon of few pairs (relaxations == frontier size)
+  // is not worth forking the scatter for; run such rounds inline.  The
+  // previous round's frontier predicts the next one well enough here.
+  const std::size_t fuse_threshold = core::fuse_relax_threshold();
+  std::size_t prev_frontier = std::numeric_limits<std::size_t>::max();
   std::uint32_t round = 0;
   while (!tree.empty()) {
     ++round;
@@ -135,8 +142,15 @@ LcsResult parallel_impl(std::span<const std::uint32_t> js) {
     stats.add_round();
     stats.add_states(frontier.size());
     stats.add_relaxations(frontier.size());
-    core::kernels::parallel_scatter_fill(res.pair_dp.data(), frontier.data(),
-                                         frontier.size(), round);
+    if (core::fuse_round(prev_frontier, fuse_threshold)) {
+      parallel::SequentialRegion seq;
+      core::kernels::parallel_scatter_fill(res.pair_dp.data(), frontier.data(),
+                                           frontier.size(), round);
+    } else {
+      core::kernels::parallel_scatter_fill(res.pair_dp.data(), frontier.data(),
+                                           frontier.size(), round);
+    }
+    prev_frontier = frontier.size();
   }
   res.length = round;
   res.stats = stats.snapshot();
@@ -167,6 +181,29 @@ LcsResult lcs_parallel(const std::vector<MatchPair>& pairs) {
 LcsResult lcs_parallel(const MatchPairsSoA& pairs) {
   return parallel_impl(pairs.j);
 }
+
+namespace {
+
+LcsResult auto_impl(std::span<const std::uint32_t> js) {
+  const std::size_t cutoff =
+      core::cutoff_from_env("CORDON_LCS_CUTOFF", core::kLcsSeqCutoff);
+  const std::size_t min_workers =
+      core::cutoff_from_env("CORDON_LCS_MIN_WORKERS", core::kLcsMinWorkers);
+  if (core::use_sequential(js.size(), cutoff, min_workers)) {
+    LcsResult r = sparse_seq_impl(js);
+    r.path = core::SolvePath::kSequentialCutoff;
+    return r;
+  }
+  return parallel_impl(js);
+}
+
+}  // namespace
+
+LcsResult lcs_auto(const std::vector<MatchPair>& pairs) {
+  return auto_impl(j_stream(pairs));
+}
+
+LcsResult lcs_auto(const MatchPairsSoA& pairs) { return auto_impl(pairs.j); }
 
 namespace {
 

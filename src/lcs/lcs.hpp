@@ -58,6 +58,7 @@ struct LcsResult {
   /// For the sparse algorithms: dp[p] = LCS of prefixes (a[0..i_p],
   /// b[0..j_p]) that *ends at* pair p, aligned with the match_pairs order.
   std::vector<std::uint32_t> pair_dp;
+  core::SolvePath path = core::SolvePath::kParallel;  // set by lcs_auto
 };
 
 /// O(nm) grid DP over recurrence (3) (oracle).
@@ -72,6 +73,14 @@ struct LcsResult {
 /// stats.rounds == LCS length.
 [[nodiscard]] LcsResult lcs_parallel(const std::vector<MatchPair>& pairs);
 [[nodiscard]] LcsResult lcs_parallel(const MatchPairsSoA& pairs);
+
+/// Production entry point: lcs_sparse_seq when effective parallelism is
+/// 1 or L (the pair count) is under the adaptive cutoff
+/// (core::kLcsSeqCutoff, override CORDON_LCS_CUTOFF), lcs_parallel
+/// otherwise.  The routing decision is recorded in LcsResult::path.
+/// Both produce the same pair_dp semantics (LCS value ending at pair p).
+[[nodiscard]] LcsResult lcs_auto(const std::vector<MatchPair>& pairs);
+[[nodiscard]] LcsResult lcs_auto(const MatchPairsSoA& pairs);
 
 /// One optimal chain of match pairs (an LCS witness), recovered from the
 /// per-pair DP values of either sparse algorithm.  Returned in chain

@@ -20,7 +20,7 @@ class LcsSolver final : public Solver {
     const auto& p = inst.as<LcsInstance>();
     // SoA pairs: the solve path only streams the j coordinates.
     auto pairs = lcs::match_pairs_soa(p.a, p.b);
-    auto r = lcs::lcs_parallel(pairs);
+    auto r = lcs::lcs_auto(pairs);
     SolveResult out = pack(p, pairs.size(), r);
     out.effective_depth = out.stats.rounds;  // rounds == LCS length (Thm 3.2)
     return out;
@@ -49,6 +49,7 @@ class LcsSolver final : public Solver {
     SolveResult out;
     out.objective = static_cast<double>(r.length);
     out.stats = r.stats;
+    out.path = r.path;
     out.detail = "lcs |a|=" + std::to_string(p.a.size()) +
                  " |b|=" + std::to_string(p.b.size()) +
                  (num_pairs > 0 ? " L=" + std::to_string(num_pairs) : "") +

@@ -96,6 +96,11 @@ thread_local std::uint64_t t_worker_generation = 0;
 
 std::atomic<std::uint64_t> g_pool_counter{0};  // generation allocator
 
+// Current worker count for the next/current pool incarnation.  0 means
+// "not yet initialized": num_workers() lazily seeds it from the
+// environment, set_num_workers() overwrites it between incarnations.
+std::atomic<std::size_t> g_num_workers{0};
+
 std::size_t configured_workers() {
   if (const char* env = std::getenv("CORDON_NUM_THREADS")) {
     long v = std::strtol(env, nullptr, 10);
@@ -132,9 +137,10 @@ Pool& pool(bool adopt_caller = true) {
   p = g_pool.load(std::memory_order_relaxed);
   if (p == nullptr) {
     // num_workers(), not configured_workers(): the public worker count
-    // is cached on first use, and per-slot state sized from it (the
-    // worker arenas) must stay in bounds across pool restarts — so a
-    // CORDON_NUM_THREADS change after the first pool has no effect.
+    // is sticky once read (changeable only through set_num_workers
+    // between incarnations), and per-slot state (worker arenas,
+    // telemetry slots) is sized from the fixed max_workers() cap, so
+    // every incarnation's slot ids stay in bounds.
     p = new Pool(num_workers(), adopt_caller);
     g_pool.store(p, std::memory_order_release);
   }
@@ -424,8 +430,44 @@ void shutdown_pool() {
 }  // namespace detail
 
 std::size_t num_workers() noexcept {
-  static std::size_t n = configured_workers();
+  std::size_t n = g_num_workers.load(std::memory_order_acquire);
+  if (n == 0) {
+    n = configured_workers();
+    if (n > max_workers()) n = max_workers();
+    std::size_t expected = 0;
+    // Lost race: another thread (or set_num_workers) seeded it first.
+    if (!g_num_workers.compare_exchange_strong(expected, n,
+                                               std::memory_order_acq_rel))
+      n = expected;
+  }
   return n;
+}
+
+std::size_t max_workers() noexcept {
+  // max() of every source a pool size can come from, so set_num_workers
+  // can never be asked to exceed it except by explicit clamp: the env
+  // configuration, the machine, and the fixed sweep grid {1, 2, 4, 8}
+  // the scaling tests restart through on any hardware.
+  static const std::size_t cap = [] {
+    std::size_t m = configured_workers();
+    unsigned hc = std::thread::hardware_concurrency();
+    if (hc > m) m = hc;
+    if (m < 8) m = 8;
+    return m;
+  }();
+  return cap;
+}
+
+bool set_num_workers(std::size_t n) noexcept {
+  if (n == 0) return false;
+  if (n > max_workers()) n = max_workers();
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  // A live pool's deques/threads are sized to its creation-time count;
+  // the new size takes effect at the next incarnation only, so refuse
+  // while one exists (callers shutdown_pool() first).
+  if (g_pool.load(std::memory_order_acquire) != nullptr) return false;
+  g_num_workers.store(n, std::memory_order_release);
+  return true;
 }
 
 std::size_t worker_id() noexcept { return t_worker_id; }

@@ -106,19 +106,36 @@ void shutdown_pool();
 inline constexpr std::size_t kMaxExternalWorkers = 8;
 
 /// Number of worker threads in the pool (>= 1), excluding adopted
-/// external slots.
+/// external slots.  Initialized from CORDON_NUM_THREADS (default:
+/// hardware_concurrency) on first use; changeable between pool
+/// incarnations with set_num_workers().
 std::size_t num_workers() noexcept;
+
+/// Upper bound on num_workers() for the lifetime of the process:
+/// max(CORDON_NUM_THREADS at first use, hardware_concurrency, 8).
+/// Per-worker-slot registries (scratch arenas, telemetry slots, trace
+/// rings) are sized from this fixed cap so they stay in bounds across
+/// pool restarts at different thread counts.
+std::size_t max_workers() noexcept;
+
+/// Sets the pool size used by the NEXT pool incarnation.  Fails (returns
+/// false) when a pool is currently live — call detail::shutdown_pool()
+/// first — or when n is 0.  Values above max_workers() are clamped.
+/// This is how the thread-sweep tests and benches restart the pool at
+/// {1, 2, 4, 8} workers inside one process.
+bool set_num_workers(std::size_t n) noexcept;
 
 /// Id of the calling worker; pool workers get [0, num_workers()), adopted
 /// external threads get [num_workers(), num_workers() + slots), and
 /// non-worker threads get 0.
 std::size_t worker_id() noexcept;
 
-/// Total number of worker slots: pool workers plus reserved external
-/// slots.  worker_id() of any thread for which is_worker_thread() holds
-/// is always < worker_slots().
+/// Total number of worker slots: the worker-count cap plus reserved
+/// external slots.  worker_id() of any thread for which
+/// is_worker_thread() holds is always < worker_slots(), for every pool
+/// incarnation regardless of its num_workers().
 inline std::size_t worker_slots() noexcept {
-  return num_workers() + kMaxExternalWorkers;
+  return max_workers() + kMaxExternalWorkers;
 }
 
 /// True when the calling thread currently holds a live worker identity of
@@ -191,10 +208,34 @@ void parallel_for_rec(std::size_t lo, std::size_t hi, std::size_t gran,
 /// loop bodies are cheap (the common case for data-parallel inner loops).
 inline constexpr std::size_t kDefaultGranularityFloor = 64;
 
+/// The auto-granularity heuristic parallel_for applies when granularity
+/// is 0: aim for ~8 chunks per worker (slack for stealing without
+/// drowning in fork overhead), clamped up to `floor`.  Exposed so tests
+/// can pin the boundary behavior and cutoff tuning can reason about it.
+/// Consequences: n <= floor yields granularity >= n (the loop runs
+/// sequentially on the caller); the result is always >= 1.
+inline std::size_t auto_granularity(
+    std::size_t n, std::size_t floor = kDefaultGranularityFloor) noexcept {
+  std::size_t chunks = 8 * num_workers();
+  std::size_t granularity = n / chunks + 1;
+  // Clamp unconditionally: chunks below the floor never amortize their
+  // fork, no matter how small the loop.  (An `n > floor` guard here
+  // would silently shatter sub-floor loops into per-worker slivers.)
+  if (granularity < floor) granularity = floor;
+  return granularity;
+}
+
+/// Parallelism actually available to the calling thread right now: 1
+/// inside a SequentialRegion (forks run inline) or when the pool has a
+/// single worker, num_workers() otherwise.  The adaptive sequential
+/// cutoffs in the family solvers key off this.
+inline std::size_t effective_parallelism() noexcept {
+  return detail::in_sequential_region() ? 1 : num_workers();
+}
+
 /// Applies f(i) for i in [lo, hi) in parallel.  `granularity` is the
-/// largest chunk executed sequentially; 0 picks a size that exposes
-/// ~8 chunks per worker (enough slack for stealing without drowning in
-/// fork overhead), clamped up to `granularity_floor`.  Loops with few
+/// largest chunk executed sequentially; 0 applies auto_granularity()
+/// with `granularity_floor`.  Loops with few
 /// iterations but *expensive* bodies (e.g. dispatching whole DP
 /// instances) must lower the floor — with the default, any n <= 64 runs
 /// entirely sequentially.
@@ -204,12 +245,7 @@ void parallel_for(std::size_t lo, std::size_t hi, const F& f,
                   std::size_t granularity_floor = kDefaultGranularityFloor) {
   if (hi <= lo) return;
   std::size_t n = hi - lo;
-  if (granularity == 0) {
-    std::size_t chunks = 8 * num_workers();
-    granularity = n / chunks + 1;
-    if (granularity < granularity_floor && n > granularity_floor)
-      granularity = granularity_floor;
-  }
+  if (granularity == 0) granularity = auto_granularity(n, granularity_floor);
   if (n <= granularity || detail::in_sequential_region()) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;

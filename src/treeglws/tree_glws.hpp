@@ -34,6 +34,7 @@ struct TreeGlwsResult {
   std::vector<double> d;             // D[v]
   std::vector<std::uint32_t> best;   // best ancestor of v (node id)
   core::DpStats stats;
+  core::SolvePath path = core::SolvePath::kParallel;  // set by tree_glws_auto
 };
 
 /// O(sum of depths) oracle: scans all ancestors of every node.
@@ -52,5 +53,14 @@ struct TreeGlwsResult {
                                                 double d0,
                                                 const glws::CostFn& w,
                                                 const glws::EFn& e);
+
+/// Production entry point: tree_glws_sequential when effective
+/// parallelism is 1 or the node count is under the adaptive cutoff
+/// (core::kTreeGlwsSeqCutoff, override CORDON_TREEGLWS_CUTOFF),
+/// tree_glws_parallel otherwise.  Routing recorded in
+/// TreeGlwsResult::path.
+[[nodiscard]] TreeGlwsResult tree_glws_auto(const structures::RootedTree& t,
+                                            double d0, const glws::CostFn& w,
+                                            const glws::EFn& e);
 
 }  // namespace cordon::treeglws

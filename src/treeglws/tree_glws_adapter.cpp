@@ -21,8 +21,8 @@ class TreeGlwsSolver final : public Solver {
   [[nodiscard]] SolveResult solve(const Instance& inst) const override {
     const auto& p = validate(inst);
     structures::RootedTree t(p.parent);
-    auto r = treeglws::tree_glws_parallel(t, p.d0, p.cost.make(),
-                                          glws::identity_e());
+    auto r = treeglws::tree_glws_auto(t, p.d0, p.cost.make(),
+                                      glws::identity_e());
     return pack(p, r);
   }
 
@@ -63,6 +63,7 @@ class TreeGlwsSolver final : public Solver {
       if (std::isfinite(v)) sum += v;
     out.objective = sum;
     out.stats = r.stats;
+    out.path = r.path;
     out.detail = "treeglws n=" + std::to_string(p.parent.size()) +
                  " sum(D)=" + std::to_string(sum);
     return out;

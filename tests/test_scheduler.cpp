@@ -75,6 +75,119 @@ TEST(Scheduler, NumWorkersPositive) {
   EXPECT_GE(cp::num_workers(), 1u);
 }
 
+namespace {
+
+// Mirrors detail::parallel_for_rec's halving recursion: the number of
+// sequential chunks a range of n iterations produces at granularity g.
+std::size_t chunk_count(std::size_t n, std::size_t g) {
+  if (n == 0) return 0;
+  if (n <= g) return 1;
+  std::size_t mid = n / 2;
+  return chunk_count(mid, g) + chunk_count(n - mid, g);
+}
+
+}  // namespace
+
+TEST(Scheduler, AutoGranularityBoundaries) {
+  const std::size_t w = cp::num_workers();
+  const std::size_t floor = cp::kDefaultGranularityFloor;
+
+  // n == 0 still yields a positive granularity (never divide-by-zero
+  // downstream; parallel_for early-outs before it matters).
+  EXPECT_GE(cp::auto_granularity(0), 1u);
+
+  // n <= floor: granularity covers the whole range, one sequential
+  // chunk — tiny loops never pay a fork.
+  for (std::size_t n : {1ul, floor / 2, floor}) {
+    std::size_t g = cp::auto_granularity(n);
+    EXPECT_GE(g, 1u) << n;
+    EXPECT_EQ(chunk_count(n, g), n == 0 ? 0u : 1u) << n;
+  }
+
+  // n just above the floor: the clamp kicks in (8*w chunks would make
+  // chunks smaller than the floor), so granularity is exactly the floor.
+  {
+    std::size_t n = floor + 1;
+    ASSERT_LT(n / (8 * w) + 1, floor) << "grid too coarse for this pool";
+    EXPECT_EQ(cp::auto_granularity(n), floor);
+    EXPECT_EQ(chunk_count(n, floor), 2u);
+  }
+
+  // Huge n: the ~8-chunks-per-worker heuristic wins over the floor and
+  // the halving recursion yields between n/g and 2n/g chunks — enough
+  // slack for stealing, bounded fork overhead.
+  {
+    std::size_t n = std::size_t{1} << 20;
+    std::size_t g = cp::auto_granularity(n);
+    EXPECT_EQ(g, n / (8 * w) + 1);
+    std::size_t chunks = chunk_count(n, g);
+    EXPECT_GE(chunks, (n + g - 1) / g / 2);
+    EXPECT_LE(chunks, 2 * ((n + g - 1) / g));
+  }
+
+  // A caller-supplied floor of 1 disables the clamp entirely (expensive
+  // loop bodies want maximum splitting).
+  EXPECT_EQ(cp::auto_granularity(100, 1), 100 / (8 * w) + 1);
+}
+
+TEST(Scheduler, ParallelForBelowFloorRunsOnCaller) {
+  cp::ensure_started();
+  const std::thread::id me = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(cp::kDefaultGranularityFloor);
+  cp::parallel_for(0, ran.size(), [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (std::size_t i = 0; i < ran.size(); ++i)
+    EXPECT_EQ(ran[i], me) << "iteration " << i << " escaped the caller";
+}
+
+TEST(Scheduler, EffectiveParallelismDropsToOneInSequentialRegion) {
+  cp::ensure_started();
+  EXPECT_EQ(cp::effective_parallelism(), cp::num_workers());
+  {
+    cp::SequentialRegion seq;
+    EXPECT_EQ(cp::effective_parallelism(), 1u);
+  }
+  EXPECT_EQ(cp::effective_parallelism(), cp::num_workers());
+}
+
+TEST(Scheduler, MaxWorkersCapsEveryIncarnation) {
+  EXPECT_GE(cp::max_workers(), 8u);
+  EXPECT_GE(cp::max_workers(), cp::num_workers());
+  EXPECT_EQ(cp::worker_slots(), cp::max_workers() + cp::kMaxExternalWorkers);
+}
+
+TEST(Scheduler, SetNumWorkersLifecycle) {
+  const std::size_t original = cp::num_workers();
+  cp::ensure_started();
+  // Refused while a pool is live: its deques are sized to the old count.
+  EXPECT_FALSE(cp::set_num_workers(2));
+  EXPECT_EQ(cp::num_workers(), original);
+
+  cp::detail::shutdown_pool();
+  EXPECT_FALSE(cp::set_num_workers(0));
+  ASSERT_TRUE(cp::set_num_workers(2));
+  EXPECT_EQ(cp::num_workers(), 2u);
+  cp::ensure_started();
+  std::atomic<int> count{0};
+  cp::parallel_for(
+      0, 1000, [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); },
+      /*granularity=*/1, /*granularity_floor=*/1);
+  EXPECT_EQ(count.load(), 1000);
+
+  // Oversized requests clamp to the fixed cap (per-slot registries are
+  // sized once from max_workers()).
+  cp::detail::shutdown_pool();
+  ASSERT_TRUE(cp::set_num_workers(cp::max_workers() + 1000));
+  EXPECT_EQ(cp::num_workers(), cp::max_workers());
+
+  // Restore the suite's original pool size for later tests.
+  cp::detail::shutdown_pool();
+  ASSERT_TRUE(cp::set_num_workers(original));
+  EXPECT_EQ(cp::num_workers(), original);
+  cp::ensure_started();
+}
+
 TEST(Scheduler, ExternalThreadAdoptsWorkerSlot) {
   cp::ensure_started();  // this thread (or an earlier test's) is worker 0
   std::thread outsider([] {

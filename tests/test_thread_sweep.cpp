@@ -1,0 +1,260 @@
+// Thread-sweep suite: the multi-core claim's correctness half.
+//
+// The scaling harness (scripts/run_benches.sh + check_scaling.py)
+// proves the parallel paths get FASTER with workers; this suite proves
+// they never get WRONG: every registered family, solved at pool sizes
+// {1, 2, 4, 8}, matches the naive reference oracle; repeated parallel
+// solves are deterministic; and the adaptive sequential cutoff
+// (src/core/cutoff.hpp) and round fusion route instances between paths
+// without changing a single answer.
+//
+// Ships its own main() (OWN_MAIN): it restarts the scheduler pool
+// between cases (detail::shutdown_pool + set_num_workers) and flips
+// CORDON_* routing knobs with setenv — both process-global, so this
+// binary must own its scheduler lifecycle end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cutoff.hpp"
+#include "src/core/telemetry.hpp"
+#include "src/engine/registry.hpp"
+#include "src/glws/costs.hpp"
+#include "src/glws/glws.hpp"
+#include "src/parallel/random.hpp"
+#include "src/parallel/scheduler.hpp"
+
+namespace cp = cordon::parallel;
+namespace core = cordon::core;
+namespace engine = cordon::engine;
+namespace telemetry = cordon::telemetry;
+
+namespace {
+
+// Tears down the live pool and brings up a fresh one with exactly
+// `workers` workers.  max_workers() >= 8 by contract, so every size in
+// the sweep grid is representable without clamping.
+void restart_pool(std::size_t workers) {
+  cp::detail::shutdown_pool();
+  ASSERT_TRUE(cp::set_num_workers(workers));
+  cp::ensure_started();
+  ASSERT_EQ(cp::num_workers(), workers);
+}
+
+// setenv with restore-on-destruction, so a failing assertion can't leak
+// a routing override into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_ = false;
+};
+
+// Forces the parallel algorithm regardless of pool size or instance
+// size, so the sweep exercises the real parallel code paths even where
+// production routing would (correctly) choose the sequential algorithm.
+struct ForceParallel {
+  ScopedEnv glws_c{"CORDON_GLWS_CUTOFF", "0"};
+  ScopedEnv lcs_c{"CORDON_LCS_CUTOFF", "0"};
+  ScopedEnv gap_c{"CORDON_GAP_CUTOFF", "0"};
+  ScopedEnv tree_c{"CORDON_TREEGLWS_CUTOFF", "0"};
+  ScopedEnv glws_w{"CORDON_GLWS_MIN_WORKERS", "1"};
+  ScopedEnv lcs_w{"CORDON_LCS_MIN_WORKERS", "1"};
+  ScopedEnv gap_w{"CORDON_GAP_MIN_WORKERS", "1"};
+  ScopedEnv tree_w{"CORDON_TREEGLWS_MIN_WORKERS", "1"};
+};
+
+}  // namespace
+
+TEST(ThreadSweep, AllFamiliesMatchReferenceAtEveryPoolSize) {
+  ForceParallel force;
+  const auto& reg = engine::builtin_registry();
+  ASSERT_EQ(reg.size(), 9u);
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    restart_pool(workers);
+    for (const auto& solver : reg.solvers()) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        std::uint64_t n = 80 + 90 * seed + 13 * workers;
+        engine::Instance inst = solver->generate({n, 5, seed * 77 + workers});
+        engine::SolveResult fast = solver->solve(inst);
+        engine::SolveResult ref = solver->solve_reference(inst);
+        double tol = 1e-9 * (1.0 + std::abs(ref.objective));
+        EXPECT_NEAR(fast.objective, ref.objective, tol)
+            << solver->key() << " workers=" << workers << " seed=" << seed;
+        EXPECT_EQ(fast.path, core::SolvePath::kParallel)
+            << solver->key() << ": ForceParallel must defeat routing";
+      }
+    }
+  }
+}
+
+TEST(ThreadSweep, RepeatedParallelSolvesAreDeterministic) {
+  ForceParallel force;
+  restart_pool(8);
+  const auto& reg = engine::builtin_registry();
+  for (const auto& solver : reg.solvers()) {
+    engine::Instance inst = solver->generate({257, 6, 99});
+    engine::SolveResult first = solver->solve(inst);
+    for (int rep = 0; rep < 3; ++rep) {
+      engine::SolveResult again = solver->solve(inst);
+      // Exact equality: scheduling order must not leak into answers
+      // (atomic min-CAS relaxation is order-independent by design).
+      EXPECT_EQ(first.objective, again.objective)
+          << solver->key() << " rep=" << rep;
+    }
+  }
+}
+
+TEST(ThreadSweep, CutoffRoutesByInstanceSizeWithIdenticalAnswers) {
+  restart_pool(8);
+  const auto& reg = engine::builtin_registry();
+  // The four families with an adaptive size cutoff; lis/oat/obst/kglws/
+  // dag have no *_auto routing.
+  for (const char* key : {"glws", "lcs", "gap", "treeglws"}) {
+    const engine::Solver& solver = reg.at(key);
+    engine::Instance inst = solver.generate({300, 5, 11});
+    engine::SolveResult seq_routed, par_routed;
+    {
+      // Huge threshold: every instance is "small", sequential path.
+      ScopedEnv glws{"CORDON_GLWS_CUTOFF", "1000000000"};
+      ScopedEnv lcs{"CORDON_LCS_CUTOFF", "1000000000"};
+      ScopedEnv gap{"CORDON_GAP_CUTOFF", "1000000000"};
+      ScopedEnv tree{"CORDON_TREEGLWS_CUTOFF", "1000000000"};
+      auto base = telemetry::snapshot();
+      seq_routed = solver.solve(inst);
+      EXPECT_EQ(seq_routed.path, core::SolvePath::kSequentialCutoff) << key;
+      // The routing decision is visible in telemetry, not just the
+      // result struct.
+      EXPECT_GE(telemetry::snapshot().delta_since(base).counter(
+                    telemetry::Counter::kSolverSeqCutoffs),
+                1u)
+          << key;
+    }
+    {
+      ForceParallel force;
+      par_routed = solver.solve(inst);
+      EXPECT_EQ(par_routed.path, core::SolvePath::kParallel) << key;
+    }
+    double tol = 1e-9 * (1.0 + std::abs(seq_routed.objective));
+    EXPECT_NEAR(seq_routed.objective, par_routed.objective, tol)
+        << key << ": both routes must agree";
+    engine::SolveResult ref = solver.solve_reference(inst);
+    EXPECT_NEAR(seq_routed.objective, ref.objective,
+                1e-9 * (1.0 + std::abs(ref.objective)))
+        << key;
+  }
+}
+
+TEST(ThreadSweep, CutoffStraddleBothSidesOfThreshold) {
+  restart_pool(8);
+  const auto& reg = engine::builtin_registry();
+  const engine::Solver& solver = reg.at("glws");
+  // Pin the glws threshold between the two instance sizes: n=128 must
+  // route sequentially, n=512 must go parallel, and the answers on both
+  // sides must match the oracle.
+  ScopedEnv cutoff{"CORDON_GLWS_CUTOFF", "256"};
+  ScopedEnv min_workers{"CORDON_GLWS_MIN_WORKERS", "1"};
+  struct Case {
+    std::uint64_t n;
+    core::SolvePath want;
+  } cases[] = {{128, core::SolvePath::kSequentialCutoff},
+               {512, core::SolvePath::kParallel}};
+  for (const Case& c : cases) {
+    engine::Instance inst = solver.generate({c.n, 5, 23});
+    engine::SolveResult fast = solver.solve(inst);
+    EXPECT_EQ(fast.path, c.want) << "n=" << c.n;
+    engine::SolveResult ref = solver.solve_reference(inst);
+    EXPECT_NEAR(fast.objective, ref.objective,
+                1e-9 * (1.0 + std::abs(ref.objective)))
+        << "n=" << c.n;
+  }
+}
+
+TEST(ThreadSweep, RoundFusionDoesNotChangeAnswers) {
+  ForceParallel force;
+  restart_pool(8);
+
+  // glws's engine generator emits single-round instances (the whole
+  // envelope resolves in one cordon), so drive the high-round/low-work
+  // regime fusion targets directly: a cheap post-office opening cost
+  // forces a long best-decision chain, i.e. many light rounds.
+  {
+    namespace glws = cordon::glws;
+    const std::size_t n = 3000;
+    auto x = std::make_shared<std::vector<double>>(n + 1, 0.0);
+    for (std::size_t i = 1; i <= n; ++i)
+      (*x)[i] = (*x)[i - 1] + 0.5 + cp::uniform_double(7, i);
+    glws::CostFn w = glws::post_office_cost(x, 20.0);
+    glws::EFn e = glws::identity_e();
+    glws::GlwsResult fused, unfused;
+    {
+      ScopedEnv fuse{"CORDON_FUSE_RELAX", "0"};  // fusion off
+      unfused = glws::glws_parallel(n, 0.0, w, e, glws::Shape::kConvex);
+    }
+    ASSERT_GT(unfused.stats.rounds, 1u) << "need a multi-round instance";
+    {
+      ScopedEnv fuse{"CORDON_FUSE_RELAX", "1000000000"};
+      auto base = telemetry::snapshot();
+      fused = glws::glws_parallel(n, 0.0, w, e, glws::Shape::kConvex);
+      EXPECT_GE(telemetry::snapshot().delta_since(base).counter(
+                    telemetry::Counter::kSolverFusedRounds),
+                1u);
+    }
+    EXPECT_NEAR(fused.d[n], unfused.d[n],
+                1e-9 * (1.0 + std::abs(unfused.d[n])));
+  }
+
+  const auto& reg = engine::builtin_registry();
+  for (const char* key : {"lcs", "gap"}) {
+    const engine::Solver& solver = reg.at(key);
+    engine::Instance inst = solver.generate({400, 7, 31});
+    engine::SolveResult fused, unfused;
+    {
+      ScopedEnv fuse{"CORDON_FUSE_RELAX", "0"};  // fusion off
+      unfused = solver.solve(inst);
+    }
+    {
+      // Threshold above any round's relaxation count: every round after
+      // the first runs inline.  Same answers, counter visibly bumped.
+      ScopedEnv fuse{"CORDON_FUSE_RELAX", "1000000000"};
+      auto base = telemetry::snapshot();
+      fused = solver.solve(inst);
+      EXPECT_GE(telemetry::snapshot().delta_since(base).counter(
+                    telemetry::Counter::kSolverFusedRounds),
+                1u)
+          << key;
+    }
+    EXPECT_EQ(fused.path, core::SolvePath::kParallel) << key;
+    double tol = 1e-9 * (1.0 + std::abs(unfused.objective));
+    EXPECT_NEAR(fused.objective, unfused.objective, tol) << key;
+  }
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int rc = RUN_ALL_TESTS();
+  // Leave no pool behind: workers joined before static teardown.
+  cordon::parallel::detail::shutdown_pool();
+  return rc;
+}
