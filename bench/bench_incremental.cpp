@@ -1,0 +1,155 @@
+// Incremental re-solve vs cold re-solve: the session layer's reason to
+// exist, measured at the solver boundary where the two paths differ.
+//
+// For each incremental family (lis, lcs, glws) the bench grows one
+// lineage by APPENDS single-element deltas and times two ways of
+// producing the version-v result:
+//
+//   <kind>-cold    — solve(prefix_v) from scratch, the price every
+//                    append would pay without saved state,
+//   <kind>-resume  — resume(state_{v-1}, prefix_v, delta_v), carrying
+//                    the family's frontier/envelope forward.  Each
+//                    timed call advances the lineage by one element, so
+//                    every iteration does real (non-memoized) work.
+//   <kind>-session — the same appends end-to-end through
+//                    CordonService::append (delta validation, version
+//                    cache key, telemetry), to show the service adds
+//                    overhead measured in microseconds, not a new
+//                    asymptotic term.
+//
+// Prefix instances and deltas are materialized before the timed
+// regions: in production the service grows one Instance in place, so
+// per-append instance copies are not part of what resume() costs.
+//
+// Every resumed objective is checked bit-identical (==) to the cold
+// solve of the same prefix; the acceptance bar is resume >= 5x faster
+// than cold per append on every family, and the binary exits 1 when
+// either check fails so CI can gate on it.
+//
+// CORDON_BENCH_N        full instance size       (default 120000)
+// CORDON_BENCH_APPENDS  single-element appends   (default 64)
+// CORDON_BENCH_JSON     append machine-readable records
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/engine/delta.hpp"
+#include "src/engine/registry.hpp"
+#include "src/engine/solver.hpp"
+#include "src/service/service.hpp"
+
+int main() {
+  using namespace cordon;
+
+  const std::size_t n = bench::env_size("CORDON_BENCH_N", 120000);
+  const std::size_t appends = bench::env_size("CORDON_BENCH_APPENDS", 64);
+  if (appends == 0 || appends >= n) {
+    std::fprintf(stderr, "bench_incremental: need 0 < APPENDS < N\n");
+    return 1;
+  }
+  const std::size_t base_n = n - appends;
+
+  const auto& reg = engine::builtin_registry();
+  bench::print_header("incremental re-solve vs cold (single-element appends)",
+                      "series            n         per_append  speedup");
+  bench::JsonEmitter json("bench_incremental");
+
+  bool gate_failed = false;
+  for (const char* kind : {"lis", "lcs", "glws"}) {
+    const engine::Solver& solver = reg.at(kind);
+    engine::Instance full = solver.generate({n, 8, 97});
+
+    // Materialize the lineage outside the timed regions: prefix_v is
+    // the instance after v appends, delta_v grows prefix_{v-1} into it.
+    std::vector<engine::Instance> prefix;
+    std::vector<engine::Delta> delta;
+    prefix.reserve(appends);
+    delta.reserve(appends);
+    for (std::size_t v = 1; v <= appends; ++v) {
+      prefix.push_back(engine::prefix_instance(full, base_n + v));
+      delta.push_back(
+          engine::slice_delta(full, base_n + v - 1, base_n + v, v - 1));
+    }
+
+    // Warm-up (pool + code paths) and the oracle objectives.
+    std::vector<double> expected;
+    expected.reserve(appends);
+    for (const engine::Instance& p : prefix)
+      expected.push_back(solver.solve(p).objective);
+
+    // cold: every append pays a from-scratch solve of its prefix.
+    double cold_s = bench::time_s([&] {
+      for (const engine::Instance& p : prefix) (void)solver.solve(p);
+    });
+    double cold_per = cold_s / static_cast<double>(appends);
+
+    // resume: one checkpoint, then each append advances it by one
+    // element.  Objectives must be bit-identical to the cold solves.
+    std::shared_ptr<const engine::SolverState> state;
+    (void)solver.solve_checkpoint(engine::prefix_instance(full, base_n),
+                                  state);
+    bool identical = true, all_resumed = true;
+    double resume_s = bench::time_s([&] {
+      for (std::size_t v = 0; v < appends; ++v) {
+        engine::ResumeResult rr = solver.resume(state, prefix[v], delta[v]);
+        state = rr.state;
+        all_resumed = all_resumed && rr.resumed;
+        identical = identical && rr.result.objective == expected[v];
+      }
+    });
+    double resume_per = resume_s / static_cast<double>(appends);
+    double speedup = cold_per / resume_per;
+
+    // session: the same lineage through the service front door.
+    double session_per = 0;
+    {
+      service::CordonService svc({.cache_capacity = 0}, reg);
+      std::uint64_t id =
+          svc.create_session(engine::prefix_instance(full, base_n));
+      std::size_t bad = 0;
+      double session_s = bench::time_s([&] {
+        for (std::size_t v = 0; v < appends; ++v) {
+          engine::SolveResult r = svc.append(id, delta[v]).get();
+          if (r.objective != expected[v]) ++bad;
+        }
+      });
+      session_per = session_s / static_cast<double>(appends);
+      identical = identical && bad == 0;
+      svc.close_session(id);
+    }
+
+    std::printf("%-6s-cold     %9zu %9.3f ms        -\n", kind, n,
+                cold_per * 1e3);
+    std::printf("%-6s-resume   %9zu %9.3f ms   %7.0fx  %s%s\n", kind, n,
+                resume_per * 1e3, speedup,
+                all_resumed ? "resumed" : "FELL BACK COLD",
+                identical ? "" : "  OBJECTIVE MISMATCH");
+    std::printf("%-6s-session  %9zu %9.3f ms   %7.0fx\n", kind, n,
+                session_per * 1e3, cold_per / session_per);
+
+    auto rec = [&](const char* suffix, double per, double sp) {
+      json.record({{"series", std::string(kind) + suffix},
+                   {"n", n},
+                   {"appends", appends},
+                   {"seconds", per},
+                   {"speedup", sp}});
+    };
+    rec("-cold", cold_per, 1.0);
+    rec("-resume", resume_per, speedup);
+    rec("-session", session_per, cold_per / session_per);
+
+    if (!identical || !all_resumed || speedup < 5.0) gate_failed = true;
+  }
+
+  if (gate_failed) {
+    std::printf(
+        "\nincremental gate FAILED: need resumed, bit-identical, >= 5x\n");
+    return 1;
+  }
+  std::printf("\nall families resumed, bit-identical, >= 5x vs cold\n");
+  return 0;
+}

@@ -24,18 +24,32 @@
 //       expected objective, and throughput / cache hit rate / queue
 //       waits are printed.  --metrics appends the service's Prometheus
 //       exposition (CordonService::metrics_text) to stdout.
+//       --sessions S switches to session mode: C client threads
+//       interleave append-only deltas onto S shared solve sessions
+//       (families cycling every delta-capable kind), each version's
+//       objective checked against a cold solve of the same prefix.
+//   cordon_cli session <problem> [--n N] [--appends A] [--chunk C]
+//                      [--seed S] [--metrics]
+//       Grow one generated instance through a solve session: base =
+//       prefix, then A appends of C elements each.  Every version is
+//       cross-checked against a cold solve of the grown prefix and the
+//       resume-vs-cold path taken is printed per append.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/trace.hpp"
 #include "src/engine/batch_executor.hpp"
+#include "src/engine/delta.hpp"
 #include "src/engine/instance.hpp"
 #include "src/engine/registry.hpp"
 #include "src/parallel/scheduler.hpp"
@@ -56,7 +70,10 @@ int usage() {
                "       cordon_cli stress [--clients C] [--requests R] "
                "[--distinct D] [--n SIZE]\n"
                "                  [--seed S] [--window-us W] [--batch B] "
-               "[--cache CAP] [--reference] [--metrics]\n");
+               "[--cache CAP] [--reference] [--metrics]\n"
+               "                  [--sessions S] [--appends A] [--chunk C]\n"
+               "       cordon_cli session <problem> [--n N] [--appends A] "
+               "[--chunk C] [--seed S] [--metrics]\n");
   return 2;
 }
 
@@ -67,6 +84,7 @@ struct Args {
   std::uint64_t n = 1000, k = 8, seed = 1, mix = 0;
   std::uint64_t clients = 4, requests = 256, distinct = 8;
   std::uint64_t window_us = 500, batch = 64, cache = 4096;
+  std::uint64_t sessions = 0, appends = 8, chunk = 0;
   std::string out;
 };
 
@@ -108,6 +126,12 @@ bool parse_args(int argc, char** argv, int first, Args& a) {
       if (!next_u64(a.batch)) return false;
     } else if (arg == "--cache") {
       if (!next_u64(a.cache)) return false;
+    } else if (arg == "--sessions") {
+      if (!next_u64(a.sessions)) return false;
+    } else if (arg == "--appends") {
+      if (!next_u64(a.appends)) return false;
+    } else if (arg == "--chunk") {
+      if (!next_u64(a.chunk)) return false;
     } else if (arg == "--out") {
       if (i + 1 >= argc) return false;
       a.out = argv[++i];
@@ -248,7 +272,200 @@ int cmd_batch(const Args& a) {
   return rep.failed == 0 ? 0 : 1;
 }
 
+// Prefix lengths a growing lineage steps through: cuts[0] is the base
+// instance, cuts[v] the instance after v appends of `chunk` elements.
+// Returns empty when n is too small to split that way.
+std::vector<std::uint64_t> session_cuts(std::uint64_t n, std::uint64_t appends,
+                                        std::uint64_t chunk) {
+  if (appends == 0) return {};
+  if (chunk == 0) chunk = std::max<std::uint64_t>(1, n / (2 * appends));
+  if (appends * chunk >= n) chunk = std::max<std::uint64_t>(1, (n - 1) / appends);
+  if (appends * chunk >= n) return {};
+  std::vector<std::uint64_t> cuts;
+  cuts.reserve(appends + 1);
+  cuts.push_back(n - appends * chunk);
+  for (std::uint64_t v = 1; v <= appends; ++v)
+    cuts.push_back(cuts.front() + v * chunk);
+  return cuts;
+}
+
+int cmd_session(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const auto& reg = engine::builtin_registry();
+  const engine::Solver& solver = reg.at(a.positional[0]);
+  engine::Instance full = solver.generate({a.n, a.k, a.seed});
+  std::vector<std::uint64_t> cuts = session_cuts(a.n, a.appends, a.chunk);
+  if (cuts.empty()) {
+    std::fprintf(stderr, "cordon_cli: --n %llu too small for %llu append(s)\n",
+                 static_cast<unsigned long long>(a.n),
+                 static_cast<unsigned long long>(a.appends));
+    return 2;
+  }
+
+  service::CordonService svc({.cache_capacity = a.cache}, reg);
+  std::uint64_t id = svc.create_session(engine::prefix_instance(full, cuts[0]));
+  std::printf("session %llu: %s base m=%llu, %llu append(s) of %llu\n",
+              static_cast<unsigned long long>(id), a.positional[0].c_str(),
+              static_cast<unsigned long long>(cuts[0]),
+              static_cast<unsigned long long>(a.appends),
+              static_cast<unsigned long long>(cuts[1] - cuts[0]));
+
+  int rc = 0;
+  for (std::uint64_t v = 1; v < cuts.size(); ++v) {
+    engine::Delta delta =
+        engine::slice_delta(full, cuts[v - 1], cuts[v], v - 1);
+    auto t0 = std::chrono::steady_clock::now();
+    engine::SolveResult r = svc.append(id, std::move(delta)).get();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    // Oracle cross-check: a cold solve of the same grown prefix.
+    engine::SolveResult cold =
+        solver.solve(engine::prefix_instance(full, cuts[v]));
+    double tol = 1e-6 * std::max(1.0, std::abs(cold.objective));
+    bool ok = std::abs(r.objective - cold.objective) <= tol;
+    if (!ok) rc = 1;
+    std::printf(
+        "  v%-3llu m=%-10llu objective=%-16.6f path=%-17s %s  (%.3f ms)\n",
+        static_cast<unsigned long long>(v),
+        static_cast<unsigned long long>(cuts[v]), r.objective,
+        core::solve_path_name(r.path),
+        ok ? "check OK" : "check FAILED vs cold", secs * 1e3);
+  }
+  if (auto info = svc.session_info(id)) {
+    std::printf(
+        "session %llu: version=%llu, incremental=%s, resumes=%llu, "
+        "cold_solves=%llu\n",
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(info->version),
+        info->incremental ? "yes" : "no",
+        static_cast<unsigned long long>(info->resumes),
+        static_cast<unsigned long long>(info->cold_solves));
+  }
+  if (a.metrics)
+    std::printf("\n--- metrics ---\n%s", svc.metrics_text().c_str());
+  svc.close_session(id);
+  return rc;
+}
+
+// stress --sessions: C client threads interleave appends on S shared
+// sessions (families cycling every delta-capable kind).  Per-session
+// ordering is the CLI's job — a mutex issues versions in order — while
+// cross-session appends run concurrently; every version's objective is
+// checked against a precomputed cold solve of the same prefix.
+int cmd_stress_sessions(const Args& a) {
+  if (a.clients == 0 || a.appends == 0) return usage();
+  const auto& reg = engine::builtin_registry();
+  std::vector<const engine::Solver*> fams;
+  for (const auto& s : reg.solvers())
+    if (s->key() != "dag") fams.push_back(s.get());  // dag: no slicing
+
+  struct Sess {
+    std::uint64_t id = 0;
+    const engine::Solver* solver = nullptr;
+    engine::Instance full;
+    std::vector<std::uint64_t> cuts;
+    std::vector<double> expected;  // expected[v]: cold objective at version v
+    std::mutex mu;                 // versions issued strictly in order
+    std::uint64_t next = 1;
+  };
+
+  std::vector<std::unique_ptr<Sess>> sessions;
+  for (std::uint64_t i = 0; i < a.sessions; ++i) {
+    auto s = std::make_unique<Sess>();
+    s->solver = fams[i % fams.size()];
+    s->full = s->solver->generate({a.n, a.k, a.seed + i});
+    s->cuts = session_cuts(a.n, a.appends, a.chunk);
+    if (s->cuts.empty()) {
+      std::fprintf(stderr,
+                   "cordon_cli: --n %llu too small for %llu append(s)\n",
+                   static_cast<unsigned long long>(a.n),
+                   static_cast<unsigned long long>(a.appends));
+      return 2;
+    }
+    s->expected.reserve(s->cuts.size());
+    for (std::uint64_t cut : s->cuts)
+      s->expected.push_back(
+          s->solver->solve(engine::prefix_instance(s->full, cut)).objective);
+    sessions.push_back(std::move(s));
+  }
+
+  service::CordonService svc(
+      {.max_batch = a.batch,
+       .batch_window = std::chrono::microseconds(a.window_us),
+       .cache_capacity = a.cache},
+      reg);
+  for (auto& s : sessions)
+    s->id = svc.create_session(engine::prefix_instance(s->full, s->cuts[0]));
+
+  std::vector<std::uint64_t> mismatches(a.clients, 0), errors(a.clients, 0);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(a.clients);
+  for (std::uint64_t c = 0; c < a.clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (bool any = true; any;) {
+        any = false;
+        for (auto& sp : sessions) {
+          Sess& s = *sp;
+          std::unique_lock lk(s.mu);
+          if (s.next >= s.cuts.size()) continue;
+          const std::uint64_t v = s.next++;
+          engine::Delta delta =
+              engine::slice_delta(s.full, s.cuts[v - 1], s.cuts[v], v - 1);
+          auto fut = svc.append(s.id, std::move(delta));
+          lk.unlock();  // future is already settled; checking needs no lock
+          any = true;
+          try {
+            double got = fut.get().objective;
+            double tol = 1e-6 * std::max(1.0, std::abs(s.expected[v]));
+            if (std::abs(got - s.expected[v]) > tol) ++mismatches[c];
+          } catch (const std::exception&) {
+            ++errors[c];
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t bad = 0, err = 0;
+  for (std::uint64_t c = 0; c < a.clients; ++c) {
+    bad += mismatches[c];
+    err += errors[c];
+  }
+  service::ServiceStats stats = svc.stats();
+  std::printf(
+      "stress --sessions: %llu append(s) over %llu session(s) from %llu "
+      "client thread(s)\n",
+      static_cast<unsigned long long>(a.sessions * a.appends),
+      static_cast<unsigned long long>(a.sessions),
+      static_cast<unsigned long long>(a.clients));
+  std::printf(
+      "        wall=%.3f ms (workers=%zu); resumes=%llu cold=%llu "
+      "pinned_bases=%llu\n",
+      wall * 1e3, parallel::num_workers(),
+      static_cast<unsigned long long>(stats.session_resumes),
+      static_cast<unsigned long long>(stats.session_cold_solves),
+      static_cast<unsigned long long>(a.sessions));
+  if (a.metrics)
+    std::printf("\n--- metrics ---\n%s", svc.metrics_text().c_str());
+  for (auto& s : sessions) svc.close_session(s->id);
+  if (bad != 0 || err != 0) {
+    std::printf("        FAILED: %llu wrong objective(s), %llu exception(s)\n",
+                static_cast<unsigned long long>(bad),
+                static_cast<unsigned long long>(err));
+    return 1;
+  }
+  std::printf("        all session objectives verified OK\n");
+  return 0;
+}
+
 int cmd_stress(const Args& a) {
+  if (a.sessions > 0) return cmd_stress_sessions(a);
   if (!a.positional.empty() || a.clients == 0 || a.requests == 0 ||
       a.distinct == 0)
     return usage();
@@ -357,6 +574,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(a);
     if (cmd == "batch") return cmd_batch(a);
     if (cmd == "stress") return cmd_stress(a);
+    if (cmd == "session") return cmd_session(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cordon_cli: %s\n", e.what());
     return 1;

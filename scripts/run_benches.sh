@@ -39,9 +39,10 @@ fi
 
 # Thread-swept set: the gated scaling families plus the engine batch
 # path.  Run-once set: benches whose numbers don't vary with the pool
-# size in an interesting way (the service bench manages its own pool).
+# size in an interesting way (the service bench manages its own pool;
+# the incremental bench's resume path is per-append sequential work).
 BENCHES="${BENCHES:-bench_fig7_glws bench_fig6_lcs bench_gap bench_engine_batch}"
-BENCHES_ONCE="${BENCHES_ONCE:-bench_service}"
+BENCHES_ONCE="${BENCHES_ONCE:-bench_service bench_incremental}"
 GAP_N="${CORDON_BENCH_GAP_N:-384}"
 
 if [[ ! -d "$BUILD_DIR" ]]; then

@@ -59,11 +59,19 @@ std::ostream& write_fields(std::ostream& os,
 enum class SolvePath : std::uint8_t {
   kParallel = 0,          // phase-parallel cordon algorithm
   kSequentialCutoff = 1,  // sequential algorithm via the adaptive cutoff
+  kResumed = 2,           // incremental re-solve from a session checkpoint
 };
 
 /// Stable label for JSON records and test messages.
 inline const char* solve_path_name(SolvePath p) noexcept {
-  return p == SolvePath::kSequentialCutoff ? "sequential_cutoff" : "parallel";
+  switch (p) {
+    case SolvePath::kSequentialCutoff:
+      return "sequential_cutoff";
+    case SolvePath::kResumed:
+      return "resumed";
+    default:
+      return "parallel";
+  }
 }
 
 /// Counters accumulated by one algorithm run.  `relaxations` counts cost

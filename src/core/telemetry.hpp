@@ -72,6 +72,9 @@ enum class Counter : std::uint16_t {
   kServiceSubmits,      // CordonService::submit calls admitted
   kServiceBatches,      // dispatcher batches executed
   kServiceCoalesced,    // duplicate requests merged inside a batch
+  kSessionAppends,      // session append() calls accepted
+  kSessionResumes,      // appends served from saved solver state
+  kSessionColdSolves,   // appends that fell back to a cold solve
   kCount
 };
 
@@ -79,6 +82,7 @@ enum class Gauge : std::uint16_t {
   kSchedDequeJobs,      // jobs currently published across all deques
   kSchedParkedWorkers,  // workers currently asleep in the OS
   kServiceQueueDepth,   // requests admitted but not yet dispatched
+  kServiceOpenSessions, // solve sessions created and not yet closed
   kCount
 };
 
@@ -142,6 +146,11 @@ inline constexpr std::array<MetricInfo, kNumCounters> kCounterInfo{{
     {"cordon_service_batches_total", "Dispatcher batches executed"},
     {"cordon_service_coalesced_total",
      "Duplicate requests merged inside a batch"},
+    {"cordon_session_appends_total", "Session append() calls accepted"},
+    {"cordon_session_resumes_total",
+     "Appends served incrementally from saved solver state"},
+    {"cordon_session_cold_solves_total",
+     "Appends that fell back to a cold solve of the grown instance"},
 }};
 
 inline constexpr std::array<MetricInfo, kNumGauges> kGaugeInfo{{
@@ -150,6 +159,8 @@ inline constexpr std::array<MetricInfo, kNumGauges> kGaugeInfo{{
     {"cordon_sched_parked_workers", "Workers currently asleep in the OS"},
     {"cordon_service_queue_depth",
      "Requests admitted but not yet dispatched"},
+    {"cordon_service_open_sessions",
+     "Solve sessions created and not yet closed"},
 }};
 
 /// Histogram samples are recorded in nanoseconds; the writer exposes

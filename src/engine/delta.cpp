@@ -1,0 +1,311 @@
+#include "src/engine/delta.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <variant>
+
+namespace cordon::engine {
+
+namespace {
+
+constexpr const char* kDeltaMagic = "cordon-delta";
+constexpr const char* kDeltaVersion = "v1";
+
+[[noreturn]] void reject(const std::string& why) {
+  throw std::invalid_argument("delta rejected: " + why);
+}
+
+/// Resulting-size cap: the sum of two under-cap halves can exceed the
+/// declared-size cap, so every append re-checks the total.
+void check_result_size(std::uint64_t base, std::uint64_t added,
+                       const char* what) {
+  // base and added are both <= kMaxDeclaredSize < 2^63: no overflow.
+  check_declared_size(base + added, what);
+}
+
+template <typename T>
+void append_vec(std::vector<T>& dst, const std::vector<T>& suffix,
+                const char* what) {
+  check_result_size(dst.size(), suffix.size(), what);
+  dst.insert(dst.end(), suffix.begin(), suffix.end());
+}
+
+void require_default_cost(const CostSpec& c, const char* kind) {
+  if (!(c == CostSpec{}))
+    reject(std::string(kind) +
+           " delta may not carry a cost spec (appends add states, they "
+           "cannot reprice existing ones)");
+}
+
+struct OpCountVisitor {
+  std::uint64_t operator()(const LisInstance& p) const {
+    return p.values.size();
+  }
+  std::uint64_t operator()(const LcsInstance& p) const {
+    return p.a.size() + p.b.size();
+  }
+  std::uint64_t operator()(const GlwsInstance& p) const { return p.n; }
+  std::uint64_t operator()(const KglwsInstance& p) const { return p.n; }
+  std::uint64_t operator()(const GapInstance& p) const {
+    return p.a.size() + p.b.size();
+  }
+  std::uint64_t operator()(const OatInstance& p) const {
+    return p.weights.size();
+  }
+  std::uint64_t operator()(const ObstInstance& p) const {
+    return p.weights.size();
+  }
+  std::uint64_t operator()(const TreeGlwsInstance& p) const {
+    return p.parent.size();
+  }
+  std::uint64_t operator()(const DagInstance& p) const {
+    return p.n + p.boundary.size() + p.edges.size();
+  }
+};
+
+}  // namespace
+
+std::uint64_t delta_op_count(const Delta& delta) {
+  return std::visit(OpCountVisitor{}, delta.append);
+}
+
+void validate_delta(const Delta& delta) {
+  std::uint64_t ops = delta_op_count(delta);
+  if (ops > kMaxDeltaOps)
+    reject("appends " + std::to_string(ops) + " ops, cap is " +
+           std::to_string(kMaxDeltaOps) +
+           " (bulk loads belong on the one-shot submit path)");
+  if (const auto* g = std::get_if<GlwsInstance>(&delta.append)) {
+    if (g->d0 != 0.0) reject("glws delta may not change d0");
+    require_default_cost(g->cost, "glws");
+  } else if (const auto* gp = std::get_if<GapInstance>(&delta.append)) {
+    require_default_cost(gp->w1, "gap");
+    require_default_cost(gp->w2, "gap");
+  } else if (const auto* k = std::get_if<KglwsInstance>(&delta.append)) {
+    if (k->k != 1) reject("kglws delta may not change k");
+    require_default_cost(k->cost, "kglws");
+  } else if (const auto* t = std::get_if<TreeGlwsInstance>(&delta.append)) {
+    if (t->d0 != 0.0) reject("treeglws delta may not change d0");
+    require_default_cost(t->cost, "treeglws");
+  }
+}
+
+namespace {
+
+struct ApplyVisitor {
+  Payload& base;
+
+  void operator()(const LisInstance& d) const {
+    append_vec(std::get<LisInstance>(base).values, d.values, "lis values");
+  }
+  void operator()(const LcsInstance& d) const {
+    auto& b = std::get<LcsInstance>(base);
+    // Validate both before mutating either: apply is all-or-nothing.
+    check_result_size(b.a.size(), d.a.size(), "lcs a");
+    check_result_size(b.b.size(), d.b.size(), "lcs b");
+    b.a.insert(b.a.end(), d.a.begin(), d.a.end());
+    b.b.insert(b.b.end(), d.b.begin(), d.b.end());
+  }
+  void operator()(const GlwsInstance& d) const {
+    auto& b = std::get<GlwsInstance>(base);
+    check_result_size(b.n, d.n, "glws n");
+    b.n += d.n;
+  }
+  void operator()(const KglwsInstance& d) const {
+    auto& b = std::get<KglwsInstance>(base);
+    check_result_size(b.n, d.n, "kglws n");
+    b.n += d.n;
+  }
+  void operator()(const GapInstance& d) const {
+    auto& b = std::get<GapInstance>(base);
+    check_result_size(b.a.size(), d.a.size(), "gap a");
+    check_result_size(b.b.size(), d.b.size(), "gap b");
+    b.a.insert(b.a.end(), d.a.begin(), d.a.end());
+    b.b.insert(b.b.end(), d.b.begin(), d.b.end());
+  }
+  void operator()(const OatInstance& d) const {
+    append_vec(std::get<OatInstance>(base).weights, d.weights, "oat weights");
+  }
+  void operator()(const ObstInstance& d) const {
+    append_vec(std::get<ObstInstance>(base).weights, d.weights,
+               "obst weights");
+  }
+  void operator()(const TreeGlwsInstance& d) const {
+    auto& b = std::get<TreeGlwsInstance>(base);
+    std::uint64_t old_n = b.parent.size();
+    check_result_size(old_n, d.parent.size(), "treeglws parent");
+    // Appended nodes must attach to the existing tree (or earlier
+    // appended nodes): parents reference absolute indices.
+    for (std::size_t i = 0; i < d.parent.size(); ++i)
+      if (d.parent[i] >= old_n + i)
+        reject("treeglws appended node " + std::to_string(old_n + i) +
+               " has parent " + std::to_string(d.parent[i]) +
+               " >= its own index");
+    b.parent.insert(b.parent.end(), d.parent.begin(), d.parent.end());
+  }
+  void operator()(const DagInstance& d) const {
+    auto& b = std::get<DagInstance>(base);
+    check_result_size(b.n, d.n, "dag states");
+    check_result_size(b.boundary.size(), d.boundary.size(), "dag boundary");
+    check_result_size(b.edges.size(), d.edges.size(), "dag edges");
+    std::uint64_t new_n = b.n + d.n;
+    // Appended edge/boundary indices are absolute into the grown DAG;
+    // range-check them here so a bad delta fails before build().
+    for (const auto& [state, value] : d.boundary) {
+      (void)value;
+      if (state >= new_n)
+        reject("dag boundary state " + std::to_string(state) +
+               " out of range [0, " + std::to_string(new_n) + ")");
+    }
+    for (const DagInstance::Edge& e : d.edges)
+      if (e.src >= new_n || e.dst >= new_n)
+        reject("dag edge " + std::to_string(e.src) + "->" +
+               std::to_string(e.dst) + " out of range [0, " +
+               std::to_string(new_n) + ")");
+    b.n = new_n;
+    b.boundary.insert(b.boundary.end(), d.boundary.begin(), d.boundary.end());
+    b.edges.insert(b.edges.end(), d.edges.begin(), d.edges.end());
+  }
+};
+
+}  // namespace
+
+void apply_delta_inplace(Instance& base, const Delta& delta) {
+  if (base.kind != delta.kind)
+    reject("kind '" + delta.kind + "' does not match instance kind '" +
+           base.kind + "'");
+  if (base.payload.index() != delta.append.index())
+    reject("payload type does not match instance payload");
+  validate_delta(delta);
+  std::visit(ApplyVisitor{base.payload}, delta.append);
+}
+
+Instance apply_delta(const Instance& base, const Delta& delta) {
+  Instance grown = base;
+  apply_delta_inplace(grown, delta);
+  return grown;
+}
+
+// --- text round-trip --------------------------------------------------------
+
+void serialize_delta(const Delta& delta, std::ostream& out) {
+  out << kDeltaMagic << ' ' << kDeltaVersion << ' ' << delta.kind << ' '
+      << delta.base_version << '\n';
+  serialize_payload_body(delta.append, out);
+  out << "end\n";
+}
+
+Delta parse_delta(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kDeltaMagic)
+    throw std::runtime_error("delta parse: missing '" +
+                             std::string(kDeltaMagic) + "' header");
+  std::string version;
+  Delta delta;
+  if (!(in >> version >> delta.kind >> delta.base_version) ||
+      version != kDeltaVersion)
+    throw std::runtime_error(
+        "delta parse: header must be 'cordon-delta v1 <kind> "
+        "<base-version>'");
+  // Consume the rest of the header line so the body parser starts clean.
+  std::string rest;
+  std::getline(in, rest);
+  delta.append = parse_payload_body(in, delta.kind);
+  validate_delta(delta);
+  return delta;
+}
+
+std::string to_string(const Delta& delta) {
+  std::ostringstream out;
+  serialize_delta(delta, out);
+  return out.str();
+}
+
+Delta delta_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_delta(in);
+}
+
+// --- harness helpers --------------------------------------------------------
+
+namespace {
+
+template <typename T>
+std::vector<T> slice(const std::vector<T>& v, std::uint64_t from,
+                     std::uint64_t to) {
+  from = std::min<std::uint64_t>(from, v.size());
+  to = std::min<std::uint64_t>(to, v.size());
+  if (from > to) from = to;
+  return {v.begin() + static_cast<std::ptrdiff_t>(from),
+          v.begin() + static_cast<std::ptrdiff_t>(to)};
+}
+
+[[noreturn]] void no_slicing(const std::string& kind) {
+  throw std::invalid_argument(
+      "prefix/slice unsupported for kind '" + kind +
+      "' (dag deltas carry explicit appended states/edges instead)");
+}
+
+}  // namespace
+
+Instance prefix_instance(const Instance& full, std::uint64_t m) {
+  Instance out;
+  out.kind = full.kind;
+  if (const auto* p = std::get_if<LisInstance>(&full.payload)) {
+    out.payload = LisInstance{slice(p->values, 0, m)};
+  } else if (const auto* p = std::get_if<LcsInstance>(&full.payload)) {
+    out.payload = LcsInstance{slice(p->a, 0, m), p->b};
+  } else if (const auto* p = std::get_if<GlwsInstance>(&full.payload)) {
+    out.payload = GlwsInstance{std::min(p->n, m), p->d0, p->cost};
+  } else if (const auto* p = std::get_if<KglwsInstance>(&full.payload)) {
+    out.payload = KglwsInstance{std::min(p->n, m), p->k, p->cost};
+  } else if (const auto* p = std::get_if<GapInstance>(&full.payload)) {
+    out.payload =
+        GapInstance{slice(p->a, 0, m), slice(p->b, 0, m), p->w1, p->w2};
+  } else if (const auto* p = std::get_if<OatInstance>(&full.payload)) {
+    out.payload = OatInstance{slice(p->weights, 0, m)};
+  } else if (const auto* p = std::get_if<ObstInstance>(&full.payload)) {
+    out.payload = ObstInstance{slice(p->weights, 0, m)};
+  } else if (const auto* p = std::get_if<TreeGlwsInstance>(&full.payload)) {
+    out.payload = TreeGlwsInstance{slice(p->parent, 0, m), p->d0, p->cost};
+  } else {
+    no_slicing(full.kind);
+  }
+  return out;
+}
+
+Delta slice_delta(const Instance& full, std::uint64_t from, std::uint64_t to,
+                  std::uint64_t base_version) {
+  Delta d;
+  d.kind = full.kind;
+  d.base_version = base_version;
+  if (const auto* p = std::get_if<LisInstance>(&full.payload)) {
+    d.append = LisInstance{slice(p->values, from, to)};
+  } else if (const auto* p = std::get_if<LcsInstance>(&full.payload)) {
+    // Grows `a` only; `b` is the fixed reference sequence.
+    d.append = LcsInstance{slice(p->a, from, to), {}};
+  } else if (const auto* p = std::get_if<GlwsInstance>(&full.payload)) {
+    std::uint64_t hi = std::min(p->n, to);
+    d.append = GlwsInstance{hi > from ? hi - from : 0, 0.0, CostSpec{}};
+  } else if (const auto* p = std::get_if<KglwsInstance>(&full.payload)) {
+    std::uint64_t hi = std::min(p->n, to);
+    d.append = KglwsInstance{hi > from ? hi - from : 0, 1, CostSpec{}};
+  } else if (const auto* p = std::get_if<GapInstance>(&full.payload)) {
+    d.append = GapInstance{slice(p->a, from, to), slice(p->b, from, to),
+                           CostSpec{}, CostSpec{}};
+  } else if (const auto* p = std::get_if<OatInstance>(&full.payload)) {
+    d.append = OatInstance{slice(p->weights, from, to)};
+  } else if (const auto* p = std::get_if<ObstInstance>(&full.payload)) {
+    d.append = ObstInstance{slice(p->weights, from, to)};
+  } else if (const auto* p = std::get_if<TreeGlwsInstance>(&full.payload)) {
+    d.append = TreeGlwsInstance{slice(p->parent, from, to), 0.0, CostSpec{}};
+  } else {
+    no_slicing(full.kind);
+  }
+  return d;
+}
+
+}  // namespace cordon::engine

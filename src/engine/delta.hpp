@@ -1,0 +1,89 @@
+// Delta instances: the append-only update model of solve sessions.
+//
+// A Delta carries the *suffix* a client wants appended to an existing
+// instance, expressed as a payload of the same kind (the delta's vectors
+// are the appended elements; its scalar `n` is the number of appended
+// states).  The restricted model is deliberate — appends are the update
+// every incremental solver in this codebase can absorb from its saved
+// frontier/envelope, while edits and prepends would force fully-dynamic
+// machinery (see docs/SESSIONS.md); those arrive at the session API as a
+// fresh base instance instead.
+//
+// Text format, sharing the instance body grammar and parser caps:
+//
+//   cordon-delta v1 <kind> <base-version>
+//   <key> <values...>          # same per-kind keys as the instance body
+//   end
+//
+// `base-version` is the session version the delta applies on top of; the
+// service rejects a mismatch so a lineage is always linear.
+//
+// Hardening mirrors the PR 3 instance caps: per-delta op counts are
+// capped at kMaxDeltaOps, and applying a delta re-checks the *resulting*
+// sizes against kMaxDeclaredSize (two under-cap halves can sum over the
+// cap), so a hostile delta fails its future instead of the process.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/engine/instance.hpp"
+
+namespace cordon::engine {
+
+/// Elements (or declared states, or edges) one delta may append.  Far
+/// above any interactive append, far below an allocation hazard; bulk
+/// loads beyond it belong on the one-shot submit path.
+inline constexpr std::uint64_t kMaxDeltaOps = 1ull << 20;
+
+struct Delta {
+  std::string kind;
+  std::uint64_t base_version = 0;
+  Payload append;  // appended suffix, same payload type as the instance
+};
+
+/// Number of appended elements the delta declares (vector elements, glws
+/// and kglws `n`, dag states + edges + boundary entries).
+[[nodiscard]] std::uint64_t delta_op_count(const Delta& delta);
+
+/// Throws std::invalid_argument when the delta exceeds kMaxDeltaOps or
+/// carries fields an append may not change (glws/kglws/treeglws cost and
+/// d0 must stay at their defaults: an append adds states, it cannot
+/// retroactively reprice existing ones).
+void validate_delta(const Delta& delta);
+
+/// Applies `delta` to `base` in place (amortized O(appended), never
+/// O(instance) — the session hot path relies on this).  Validates the
+/// delta, checks kind match, and re-checks resulting sizes against
+/// kMaxDeclaredSize.  Throws std::invalid_argument on any violation,
+/// leaving `base` unchanged.
+void apply_delta_inplace(Instance& base, const Delta& delta);
+
+/// Copying convenience over apply_delta_inplace.
+[[nodiscard]] Instance apply_delta(const Instance& base, const Delta& delta);
+
+// --- text round-trip --------------------------------------------------------
+
+void serialize_delta(const Delta& delta, std::ostream& out);
+[[nodiscard]] Delta parse_delta(std::istream& in);
+
+[[nodiscard]] std::string to_string(const Delta& delta);
+[[nodiscard]] Delta delta_from_string(const std::string& text);
+
+// --- harness helpers (CLI / bench / tests) ----------------------------------
+
+/// The first `m` "elements" of a generated instance, as a standalone
+/// instance: lis values, lcs `a` (with `b` intact — the incremental LCS
+/// model grows `a` against a fixed `b`), oat/obst weights, treeglws
+/// parents, gap `a` and `b` both, glws/kglws `n`.  Unsupported for dag
+/// (its edges have no per-state slicing); throws std::invalid_argument.
+[[nodiscard]] Instance prefix_instance(const Instance& full, std::uint64_t m);
+
+/// The delta that grows prefix_instance(full, from) into
+/// prefix_instance(full, to), stamped with `base_version`.  Same kind
+/// support as prefix_instance.
+[[nodiscard]] Delta slice_delta(const Instance& full, std::uint64_t from,
+                                std::uint64_t to, std::uint64_t base_version);
+
+}  // namespace cordon::engine

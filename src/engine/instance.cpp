@@ -502,6 +502,15 @@ void serialize_instance(const Instance& inst, std::ostream& out) {
   out << "end\n";
 }
 
+Payload parse_payload_body(std::istream& in, const std::string& kind) {
+  return parse_payload(in, kind);
+}
+
+void serialize_payload_body(const Payload& payload, std::ostream& out) {
+  out.precision(17);
+  std::visit(SerializeVisitor{out}, payload);
+}
+
 Instance parse_instance(std::istream& in) {
   Line header;
   if (!next_line(in, header) || header.key != kMagic)

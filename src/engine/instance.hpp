@@ -191,6 +191,17 @@ void canonical_text_into(const Instance& inst, std::string& out);
 void serialize_instance(const Instance& inst, std::ostream& out);
 [[nodiscard]] Instance parse_instance(std::istream& in);
 
+/// Parses one payload body for `kind` — the lines between the header and
+/// `end`, which the delta format (src/engine/delta.hpp) shares with the
+/// instance format.  Consumes up to and including the `end` line; applies
+/// the same declared-size caps as parse_instance.
+[[nodiscard]] Payload parse_payload_body(std::istream& in,
+                                         const std::string& kind);
+
+/// Serializes just the payload body (key/value lines, no header and no
+/// `end`), in the canonical field order with round-trip-safe doubles.
+void serialize_payload_body(const Payload& payload, std::ostream& out);
+
 [[nodiscard]] std::string to_string(const Instance& inst);
 [[nodiscard]] Instance from_string(const std::string& text);
 

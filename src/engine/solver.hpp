@@ -16,10 +16,14 @@
 #include <string>
 #include <string_view>
 
+#include <memory>
+
 #include "src/core/dp_stats.hpp"
 #include "src/engine/instance.hpp"
 
 namespace cordon::engine {
+
+struct Delta;  // src/engine/delta.hpp
 
 /// Knobs for `Solver::generate`; interpretation is per-problem (`n` is
 /// the dominant size, `k` the layer/cluster count where one exists) but
@@ -49,6 +53,31 @@ struct SolveResult {
   core::SolvePath path = core::SolvePath::kParallel;
 };
 
+/// Opaque resumable solver state: the frontier/envelope a solve left
+/// behind, from which an append-only delta can be re-solved without
+/// touching the already-finalized prefix.  Concrete types are private to
+/// each family's adapter; callers only store and hand back the pointer.
+///
+/// Ownership rule (docs/SESSIONS.md): checkpoint state is plain
+/// heap-owned data — never arena- or worker-slot-backed — so it survives
+/// `parallel::detail::shutdown_pool()` / `set_num_workers()` cycles.
+/// Shared immutably via shared_ptr<const>: N session versions alias one
+/// state (or path-copied structure inside it) instead of deep-copying.
+class SolverState {
+ public:
+  virtual ~SolverState() = default;
+};
+
+/// What resume() produced: the result for the grown instance, the
+/// checkpoint to resume the NEXT append from, and whether the solve was
+/// actually served incrementally (false = the cold-fallback default ran;
+/// the service's telemetry counters split on this).
+struct ResumeResult {
+  SolveResult result;
+  std::shared_ptr<const SolverState> state;
+  bool resumed = false;
+};
+
 /// A registered problem family.  `solve` runs the optimized (cordon /
 /// parallel) algorithm; `solve_reference` runs the naive oracle the
 /// paper's correctness claims are checked against — tests cross-validate
@@ -66,6 +95,42 @@ class Solver {
 
   /// Deterministic random instance of this problem kind.
   [[nodiscard]] virtual Instance generate(const GenOptions& opt) const = 0;
+
+  // --- session capability (append-only incremental re-solve) ---------------
+  //
+  // The default implementations make every family session-capable via
+  // cold fallback: solve_checkpoint() is solve() with a null state, and
+  // resume() is a cold solve of the full grown instance.  Incremental
+  // families (lis/lcs/glws) override all three; callers never branch on
+  // the capability — they call resume() and read ResumeResult::resumed.
+
+  /// True when this family can absorb append deltas from saved state.
+  /// Capability may still degrade per call (e.g. a concave glws cost or
+  /// an lcs delta that grows `b`): resume() reports what actually ran.
+  [[nodiscard]] virtual bool incremental() const { return false; }
+
+  /// solve() that also emits the checkpoint to resume appends from
+  /// (null for non-incremental families or un-checkpointable instances).
+  [[nodiscard]] virtual SolveResult solve_checkpoint(
+      const Instance& inst,
+      std::shared_ptr<const SolverState>& state) const {
+    state = nullptr;
+    return solve(inst);
+  }
+
+  /// Re-solves after `delta` was applied: `full` is the grown instance
+  /// (delta already folded in), `state` the checkpoint from the previous
+  /// version (possibly null).  The default ignores both and cold-solves
+  /// `full`.  Overrides must fall back to the same behavior whenever the
+  /// state is missing, of the wrong dynamic type, or inconsistent with
+  /// `full` — never throw for a merely-unresumable input.
+  [[nodiscard]] virtual ResumeResult resume(
+      const std::shared_ptr<const SolverState>& state, const Instance& full,
+      const Delta& delta) const {
+    (void)state;
+    (void)delta;
+    return {solve(full), nullptr, false};
+  }
 };
 
 }  // namespace cordon::engine

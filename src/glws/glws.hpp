@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/core/dp_stats.hpp"
@@ -66,5 +67,54 @@ struct GlwsResult {
 /// is recorded in GlwsResult::path.
 [[nodiscard]] GlwsResult glws_auto(std::size_t n, double d0, const CostFn& w,
                                    const EFn& e, Shape shape);
+
+// --- append-resumable envelope (solve sessions, convex costs) ---------------
+//
+// The deque of glws_sequential discards convex candidates whose winning
+// suffix starts beyond the current n — exactly the candidates a later
+// append may need — so its state cannot be checkpointed.  The
+// incremental solver instead keeps the lower envelope as
+// DecisionIntervals extending to a fixed `horizon` in a
+// PersistentIntervalTreap (Sec. 5.3): no candidate is ever discarded
+// for any extension up to the horizon, and path-copying lets N session
+// versions share one O(n)-node structure.  Appending a state costs
+// O(log n) treap work plus O(log horizon) cost evaluations; already-
+// finalized D values never change (appends only add candidates for
+// LATER states), so the per-state values are bitwise those of a cold
+// sequential solve of the grown instance.
+//
+// Concave costs admit candidates on a *prefix* of future states — an
+// appended state can invalidate the saved front — so sessions fall back
+// to cold solves there (the adapter handles the routing).
+
+class ConvexIncremental;  // shared append-only solve log (internal)
+
+/// Immutable O(1) handle on the first `n` states of a shared solve log.
+/// Copies are cheap; extending never invalidates existing versions.
+/// The log is internally synchronized and heap-owned (survives
+/// scheduler pool restarts).
+struct IncrementalVersion {
+  std::shared_ptr<ConvexIncremental> shared;
+  std::size_t n = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return shared != nullptr; }
+};
+
+/// Solves states 1..n from scratch (convex costs only) and returns the
+/// version handle.  `horizon` bounds every future extension (extending
+/// past it throws std::invalid_argument); n must be <= horizon.
+[[nodiscard]] IncrementalVersion incremental_solve(std::size_t n, double d0,
+                                                   CostFn w, EFn e,
+                                                   std::size_t horizon,
+                                                   core::DpStats& stats);
+
+/// Version covering n_new >= v.n states; shares all prior structure.
+/// Thread-safe against concurrent extends of the same log (appended
+/// states are pure functions of the instance, so racing branches agree).
+[[nodiscard]] IncrementalVersion incremental_extend(
+    const IncrementalVersion& v, std::size_t n_new, core::DpStats& stats);
+
+/// D[v.n] — the objective of the version's instance.
+[[nodiscard]] double incremental_objective(const IncrementalVersion& v);
 
 }  // namespace cordon::glws

@@ -2,11 +2,22 @@
 #include <memory>
 
 #include "src/engine/adapter_util.hpp"
+#include "src/engine/delta.hpp"
 #include "src/engine/registry.hpp"
 #include "src/glws/glws.hpp"
 
 namespace cordon::engine {
 namespace {
+
+/// Session checkpoint: a version handle on the shared persistent-treap
+/// envelope (convex costs only), plus the pricing it was built under —
+/// a delta cannot reprice states, so a base with a different (d0, cost)
+/// must never resume from this state.
+struct GlwsState final : SolverState {
+  glws::IncrementalVersion version;
+  double d0 = 0;
+  CostSpec cost;
+};
 
 class GlwsSolver final : public Solver {
  public:
@@ -38,7 +49,62 @@ class GlwsSolver final : public Solver {
     return {"glws", p};
   }
 
+  [[nodiscard]] bool incremental() const override { return true; }
+
+  [[nodiscard]] SolveResult solve_checkpoint(
+      const Instance& inst,
+      std::shared_ptr<const SolverState>& state) const override {
+    state = checkpoint(validate(inst));
+    return solve(inst);
+  }
+
+  [[nodiscard]] ResumeResult resume(
+      const std::shared_ptr<const SolverState>& state, const Instance& full,
+      const Delta& delta) const override {
+    const auto& p = validate(full);
+    const auto* st = dynamic_cast<const GlwsState*>(state.get());
+    const auto* ap = std::get_if<GlwsInstance>(&delta.append);
+    // Concave costs admit candidates on a prefix of future states, so an
+    // append can rewrite the saved envelope: cold fallback.  Also fall
+    // back on any pricing or length mismatch with the saved version.
+    if (st == nullptr || ap == nullptr || !st->version.valid() ||
+        p.cost.shape() != glws::Shape::kConvex || st->d0 != p.d0 ||
+        !(st->cost == p.cost) || st->version.n + ap->n != p.n) {
+      return {solve(full), checkpoint(p), false};
+    }
+    auto next = std::make_shared<GlwsState>();
+    next->d0 = p.d0;
+    next->cost = p.cost;
+    SolveResult out;
+    next->version = glws::incremental_extend(st->version, p.n, out.stats);
+    out.objective = glws::incremental_objective(next->version);
+    out.detail = detail_line(p.n, out.objective);
+    out.path = core::SolvePath::kResumed;
+    return {std::move(out), std::move(next), true};
+  }
+
  private:
+  static std::shared_ptr<const GlwsState> checkpoint(const GlwsInstance& p) {
+    if (p.cost.shape() != glws::Shape::kConcave) {
+      auto st = std::make_shared<GlwsState>();
+      core::DpStats scratch;
+      // Horizon = the declared-size cap: any in-cap append stays
+      // resumable, and intervals never outlive valid state indices.
+      st->version =
+          glws::incremental_solve(p.n, p.d0, p.cost.make(), glws::identity_e(),
+                                  kMaxDeclaredSize, scratch);
+      st->d0 = p.d0;
+      st->cost = p.cost;
+      return st;
+    }
+    return nullptr;  // concave: sessions run cold on every append
+  }
+
+  static std::string detail_line(std::uint64_t n, double objective) {
+    return "glws n=" + std::to_string(n) +
+           " D[n]=" + std::to_string(objective);
+  }
+
   static const GlwsInstance& validate(const Instance& inst) {
     // The solver allocates O(n) from the *declared* n, so cap it here:
     // a hostile submit() fails this one request, not the process.
@@ -52,8 +118,7 @@ class GlwsSolver final : public Solver {
     out.objective = r.d.empty() ? p.d0 : r.d.back();
     out.stats = r.stats;
     out.path = r.path;
-    out.detail = "glws n=" + std::to_string(p.n) +
-                 " D[n]=" + std::to_string(out.objective);
+    out.detail = detail_line(p.n, out.objective);
     return out;
   }
 };

@@ -1,0 +1,193 @@
+// Append-resumable GLWS for convex costs (solve sessions).
+//
+// Mirrors glws_sequential exactly, but stores the candidate envelope in
+// a PersistentIntervalTreap whose intervals extend to a fixed `horizon`
+// instead of the current n.  The deque trims candidates that never win
+// a state <= n; here such a candidate keeps an interval [h, horizon]
+// with h > n, so any later append finds it.  root_at_[i] is the
+// envelope after candidate i was inserted — path-copying makes every
+// prior version O(1) to retain, and a session holding version n shares
+// all treap structure with version n + k.
+//
+// Bit-identity with the cold sequential solve: state i is decided
+// against the same candidate set (0..i-1), the winning interval is
+// found by the same strict-< comparisons, and D[i] is computed by the
+// same expression ev[j] + w(j, i).  The only divergence is the binary
+// search for a crossover inside the LAST interval, which probes
+// [.., horizon] instead of [.., n]; in exact arithmetic the crossover
+// is unique, so this matters only if the fp win-predicate is
+// non-monotone — the same assumption the deque's own binary search
+// already makes (see docs/SESSIONS.md).
+
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "src/glws/glws.hpp"
+#include "src/structures/persistent_treap.hpp"
+
+namespace cordon::glws {
+
+/// Shared append-only solve log.  All members are guarded by mu_; the
+/// arrays only ever grow, and entry i is a pure function of (d0, w, e),
+/// so concurrent extends of racing session branches compute identical
+/// values.  Heap-owned plain data: survives scheduler pool restarts.
+class ConvexIncremental {
+ public:
+  using Ref = structures::PersistentIntervalTreap::Ref;
+
+  ConvexIncremental(double d0, CostFn w, EFn e, std::size_t horizon)
+      : horizon_(horizon), w_(std::move(w)), e_(std::move(e)) {
+    d_.push_back(d0);
+    ev_.push_back(e_(d0, 0));
+    // Candidate 0 covers every future state.
+    root_at_.push_back(
+        horizon_ >= 1
+            ? treap_.insert(structures::PersistentIntervalTreap::kNil,
+                            {1, horizon_, 0})
+            : structures::PersistentIntervalTreap::kNil);
+  }
+
+  /// Ensures states 1..n are decided.  No-op when already covered.
+  void extend_to(std::size_t n, core::DpStats& stats) {
+    if (n > horizon_)
+      throw std::invalid_argument("glws incremental: extend past horizon");
+    std::lock_guard<std::mutex> lock(mu_);
+    while (d_.size() <= n) push_state_locked(stats);
+  }
+
+  [[nodiscard]] double objective_at(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (n >= d_.size())
+      throw std::logic_error("glws incremental: objective past covered n");
+    return d_[n];
+  }
+
+ private:
+  void push_state_locked(core::DpStats& stats) {
+    const std::size_t i = d_.size();  // state to decide; candidates are 0..i-1
+    const structures::DecisionInterval* iv = treap_.find(root_at_[i - 1], i);
+    assert(iv != nullptr);
+    const std::size_t j = iv->j;  // copy out: insert below grows the arena
+    ++stats.relaxations;
+    const double di = ev_[j] + w_(j, i);
+    d_.push_back(di);
+    ev_.push_back(e_(di, i));
+    ++stats.states;
+    root_at_.push_back(insert_candidate(root_at_[i - 1], i, stats));
+  }
+
+  /// Convex envelope insert, comparison-for-comparison the deque's
+  /// insert_convex: find the first state h >= cand + 1 where cand
+  /// strictly beats the incumbent, trim the envelope at h, and give
+  /// cand [h, horizon].  O(log) treap probes, O(log) cost evals.
+  Ref insert_candidate(Ref root, std::size_t cand, core::DpStats& stats) {
+    const std::size_t lo = cand + 1;
+    if (lo > horizon_) return root;
+    auto eval = [&](std::size_t j, std::size_t s) {
+      ++stats.relaxations;
+      return ev_[j] + w_(j, s);
+    };
+    // Monotone over the sorted intervals: stale intervals (entirely
+    // before cand's range) read false, then losers, then — by convexity
+    // (win region is a suffix) — winners.
+    auto pred = [&](const structures::DecisionInterval& iv) {
+      if (iv.r < lo) return false;
+      const std::size_t s = std::max(iv.l, lo);
+      return eval(cand, s) < eval(iv.j, s);
+    };
+    const auto [first, prev] = treap_.find_first_with_prev(root, pred);
+
+    std::size_t h;
+    structures::DecisionInterval cross{};  // interval holding the crossover
+    bool bisect = false;
+    if (first == nullptr) {
+      if (prev == nullptr) return single(lo, horizon_, cand);  // empty envelope
+      cross = *prev;  // the last interval; r == horizon_ >= lo
+      if (!(eval(cand, cross.r) < eval(cross.j, cross.r)))
+        return root;  // cand never wins within the horizon: keep as-is
+      bisect = true;
+      h = 0;  // overwritten below
+    } else {
+      h = std::max(first->l, lo);
+      if (prev != nullptr && prev->r >= lo) {
+        cross = *prev;
+        // Loses at max(prev.l, lo); if it wins by prev->r the crossover
+        // is strictly inside prev, else exactly at first->l (== h).
+        if (eval(cand, cross.r) < eval(cross.j, cross.r)) bisect = true;
+      }
+    }
+    if (bisect) {
+      std::size_t lo2 = std::max(cross.l, lo);  // cand loses here
+      std::size_t hi2 = cross.r;                // cand wins here
+      while (lo2 + 1 < hi2) {
+        const std::size_t mid = lo2 + (hi2 - lo2) / 2;
+        if (eval(cand, mid) < eval(cross.j, mid))
+          hi2 = mid;
+        else
+          lo2 = mid;
+      }
+      h = hi2;
+    }
+
+    // Rebuild: keep [1, h - 1], trim the interval spanning h, append
+    // [h, horizon] for cand.  Everything at l >= h is dominated.
+    auto [left, dropped] = treap_.split(root, h);
+    (void)dropped;
+    if (!treap_.is_nil(left)) {
+      const structures::DecisionInterval span = *treap_.last(left);
+      if (span.r >= h) {
+        auto [head, spanned] = treap_.split(left, span.l);
+        (void)spanned;
+        left = treap_.join(head, single(span.l, h - 1, span.j));
+      }
+    }
+    return treap_.join(left, single(h, horizon_, cand));
+  }
+
+  Ref single(std::size_t l, std::size_t r, std::size_t j) {
+    return treap_.insert(structures::PersistentIntervalTreap::kNil, {l, r, j});
+  }
+
+  std::mutex mu_;
+  const std::size_t horizon_;
+  const CostFn w_;
+  const EFn e_;
+  std::vector<double> d_;    // d_[i] = D[i]; d_[0] = d0
+  std::vector<double> ev_;   // ev_[i] = e(D[i], i)
+  std::vector<Ref> root_at_; // envelope after candidate i was inserted
+  structures::PersistentIntervalTreap treap_;
+};
+
+IncrementalVersion incremental_solve(std::size_t n, double d0, CostFn w, EFn e,
+                                     std::size_t horizon,
+                                     core::DpStats& stats) {
+  if (n > horizon)
+    throw std::invalid_argument("glws incremental: n exceeds horizon");
+  IncrementalVersion v;
+  v.shared = std::make_shared<ConvexIncremental>(d0, std::move(w), std::move(e),
+                                                 horizon);
+  v.n = n;
+  v.shared->extend_to(n, stats);
+  return v;
+}
+
+IncrementalVersion incremental_extend(const IncrementalVersion& v,
+                                      std::size_t n_new,
+                                      core::DpStats& stats) {
+  if (!v.valid())
+    throw std::invalid_argument("glws incremental: extend of invalid version");
+  if (n_new < v.n)
+    throw std::invalid_argument("glws incremental: extend shrinks n");
+  v.shared->extend_to(n_new, stats);
+  return {v.shared, n_new};
+}
+
+double incremental_objective(const IncrementalVersion& v) {
+  if (!v.valid())
+    throw std::invalid_argument("glws incremental: objective of invalid version");
+  return v.shared->objective_at(v.n);
+}
+
+}  // namespace cordon::glws

@@ -248,4 +248,37 @@ std::vector<MatchPair> recover_chain(const MatchPairsSoA& pairs,
       res);
 }
 
+BIndex build_b_index(const std::vector<std::uint32_t>& b) {
+  BIndex index;
+  index.b_size = b.size();
+  index.where.reserve(b.size());
+  for (std::uint32_t j = 0; j < b.size(); ++j) index.where[b[j]].push_back(j);
+  return index;
+}
+
+void lcs_extend(LcsFrontier& f, const BIndex& index,
+                const std::uint32_t* a_suffix, std::size_t count,
+                core::DpStats& stats) {
+  // Same update as sparse_seq_impl, same (i asc, j desc) pair order:
+  // the frontier after (prefix ++ suffix) is bitwise the frontier the
+  // sequential algorithm would reach on the concatenation.
+  for (std::size_t ai = 0; ai < count; ++ai) {
+    auto it = index.where.find(a_suffix[ai]);
+    if (it == index.where.end()) continue;
+    const std::vector<std::uint32_t>& positions = it->second;
+    for (std::size_t k = positions.size(); k > 0; --k) {
+      std::uint32_t j = positions[k - 1];
+      auto t = std::lower_bound(f.thresholds.begin(), f.thresholds.end(), j);
+      if (t == f.thresholds.end())
+        f.thresholds.push_back(j);
+      else
+        *t = j;
+      ++f.pairs_consumed;
+      ++stats.states;
+      ++stats.relaxations;
+    }
+  }
+  f.a_consumed += count;
+}
+
 }  // namespace cordon::lcs

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/dp_stats.hpp"
@@ -89,5 +90,41 @@ struct LcsResult {
     const std::vector<MatchPair>& pairs, const LcsResult& res);
 [[nodiscard]] std::vector<MatchPair> recover_chain(const MatchPairsSoA& pairs,
                                                    const LcsResult& res);
+
+// --- append-resumable frontier (solve sessions) -----------------------------
+
+/// Positions of every symbol in the fixed reference sequence `b`
+/// (j ascending per symbol).  Immutable once built — session versions
+/// share one index behind a shared_ptr; growing `b` invalidates it and
+/// forces a cold re-solve (the restricted update model).
+struct BIndex {
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> where;
+  std::size_t b_size = 0;
+};
+
+[[nodiscard]] BIndex build_b_index(const std::vector<std::uint32_t>& b);
+
+/// Hunt–Szymanski thresholds after consuming a prefix of `a` against a
+/// fixed `b`: thresholds[k] is the smallest j ending a common chain of
+/// length k+1.  Appending to `a` appends match pairs at the END of the
+/// (i asc, j desc) pair stream, so the thresholds array is exactly the
+/// suffix-re-solve state — O(LCS) space, O(new pairs · log) per append,
+/// and bitwise the same lengths as lcs_sparse_seq over the full pair
+/// stream.
+struct LcsFrontier {
+  std::vector<std::uint32_t> thresholds;
+  std::uint64_t a_consumed = 0;
+  std::uint64_t pairs_consumed = 0;
+
+  [[nodiscard]] std::uint32_t length() const noexcept {
+    return static_cast<std::uint32_t>(thresholds.size());
+  }
+};
+
+/// Feeds `count` appended `a` symbols through the frontier in place,
+/// emitting their match pairs against `index` in (i asc, j desc) order.
+void lcs_extend(LcsFrontier& f, const BIndex& index,
+                const std::uint32_t* a_suffix, std::size_t count,
+                core::DpStats& stats);
 
 }  // namespace cordon::lcs

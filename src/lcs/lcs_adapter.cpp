@@ -2,11 +2,20 @@
 #include <memory>
 
 #include "src/engine/adapter_util.hpp"
+#include "src/engine/delta.hpp"
 #include "src/engine/registry.hpp"
 #include "src/lcs/lcs.hpp"
 
 namespace cordon::engine {
 namespace {
+
+/// Session checkpoint: the Hunt–Szymanski thresholds after consuming all
+/// of `a`, plus the symbol index of the fixed `b` (shared across session
+/// versions — only the O(LCS) frontier is copied per resume).
+struct LcsState final : SolverState {
+  std::shared_ptr<const lcs::BIndex> b_index;
+  lcs::LcsFrontier frontier;
+};
 
 class LcsSolver final : public Solver {
  public:
@@ -43,17 +52,70 @@ class LcsSolver final : public Solver {
     return {"lcs", p};
   }
 
+  [[nodiscard]] bool incremental() const override { return true; }
+
+  [[nodiscard]] SolveResult solve_checkpoint(
+      const Instance& inst,
+      std::shared_ptr<const SolverState>& state) const override {
+    state = checkpoint(inst.as<LcsInstance>());
+    return solve(inst);
+  }
+
+  [[nodiscard]] ResumeResult resume(
+      const std::shared_ptr<const SolverState>& state, const Instance& full,
+      const Delta& delta) const override {
+    const auto& p = full.as<LcsInstance>();
+    const auto* st = dynamic_cast<const LcsState*>(state.get());
+    const auto* ap = std::get_if<LcsInstance>(&delta.append);
+    // Incremental only when the delta grows `a` against the same fixed
+    // `b`: appending to `b` reorders the whole (i asc, j desc) pair
+    // stream, which invalidates the thresholds — cold fallback (and a
+    // fresh checkpoint for subsequent appends).
+    if (st == nullptr || ap == nullptr || !ap->b.empty() ||
+        st->b_index == nullptr || st->b_index->b_size != p.b.size() ||
+        st->frontier.a_consumed + ap->a.size() != p.a.size()) {
+      return {solve(full), checkpoint(p), false};
+    }
+    auto next = std::make_shared<LcsState>();
+    next->b_index = st->b_index;    // shared: b is immutable in a session
+    next->frontier = st->frontier;  // O(LCS) copy
+    SolveResult out;
+    lcs::lcs_extend(next->frontier, *next->b_index, ap->a.data(),
+                    ap->a.size(), out.stats);
+    out.objective = next->frontier.length();
+    out.detail = detail_line(p, next->frontier.pairs_consumed,
+                             next->frontier.length());
+    out.path = core::SolvePath::kResumed;
+    return {std::move(out), std::move(next), true};
+  }
+
  private:
+  static std::shared_ptr<const LcsState> checkpoint(const LcsInstance& p) {
+    auto st = std::make_shared<LcsState>();
+    st->b_index = std::make_shared<lcs::BIndex>(lcs::build_b_index(p.b));
+    core::DpStats scratch;
+    lcs::lcs_extend(st->frontier, *st->b_index, p.a.data(), p.a.size(),
+                    scratch);
+    return st;
+  }
+
+  // frontier.pairs_consumed after a full replay equals the match-pair
+  // count L of the full instance, so resumed details match cold ones.
+  static std::string detail_line(const LcsInstance& p, std::uint64_t num_pairs,
+                                 std::uint32_t length) {
+    return "lcs |a|=" + std::to_string(p.a.size()) +
+           " |b|=" + std::to_string(p.b.size()) +
+           (num_pairs > 0 ? " L=" + std::to_string(num_pairs) : "") +
+           " length=" + std::to_string(length);
+  }
+
   static SolveResult pack(const LcsInstance& p, std::size_t num_pairs,
                           const lcs::LcsResult& r) {
     SolveResult out;
     out.objective = static_cast<double>(r.length);
     out.stats = r.stats;
     out.path = r.path;
-    out.detail = "lcs |a|=" + std::to_string(p.a.size()) +
-                 " |b|=" + std::to_string(p.b.size()) +
-                 (num_pairs > 0 ? " L=" + std::to_string(num_pairs) : "") +
-                 " length=" + std::to_string(r.length);
+    out.detail = detail_line(p, num_pairs, r.length);
     return out;
   }
 };

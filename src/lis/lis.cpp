@@ -131,4 +131,22 @@ std::vector<std::size_t> lis_witness(const std::vector<std::uint64_t>& a,
   return out;
 }
 
+void lis_extend(LisFrontier& f, const std::uint64_t* values,
+                std::size_t count, core::DpStats& stats) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = values[i];
+    // First tail >= v: v extends the chain of that length - 1 and
+    // becomes the new (strictly smaller or equal) tail; past-the-end
+    // means v extends the longest chain.
+    auto it = std::lower_bound(f.tails.begin(), f.tails.end(), v);
+    if (it == f.tails.end())
+      f.tails.push_back(v);
+    else
+      *it = v;
+    ++stats.states;
+    ++stats.relaxations;
+  }
+  f.consumed += count;
+}
+
 }  // namespace cordon::lis

@@ -41,4 +41,28 @@ struct LisResult {
 [[nodiscard]] std::vector<std::size_t> lis_witness(
     const std::vector<std::uint64_t>& a, const LisResult& res);
 
+// --- append-resumable frontier (solve sessions) -----------------------------
+
+/// Patience frontier: tails[k] is the smallest value ending a strictly
+/// increasing subsequence of length k+1 among the `consumed` elements so
+/// far.  tails is strictly increasing, O(LIS) space, and — unlike the
+/// per-state dp array — absorbing one appended element costs O(log LIS):
+/// exactly the state an append-only session checkpoints.  The LIS length
+/// of any extension never depends on dropped information, so
+/// lis_extend(frontier of a) ++ suffix == lis(a ++ suffix) exactly.
+struct LisFrontier {
+  std::vector<std::uint64_t> tails;
+  std::uint64_t consumed = 0;
+
+  [[nodiscard]] std::uint32_t length() const noexcept {
+    return static_cast<std::uint32_t>(tails.size());
+  }
+};
+
+/// Feeds `count` appended values through the frontier in place.
+/// O(count log LIS); stats counts one state and one relaxation per value
+/// (matching the sequential algorithm's accounting unit).
+void lis_extend(LisFrontier& f, const std::uint64_t* values,
+                std::size_t count, core::DpStats& stats);
+
 }  // namespace cordon::lis

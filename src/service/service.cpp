@@ -17,7 +17,7 @@ namespace cordon::service {
 
 CordonService::CordonService(ServiceOptions opt,
                              const engine::ProblemRegistry& reg)
-    : opt_(opt), executor_(reg) {
+    : opt_(opt), registry_(reg), executor_(reg) {
   if (opt_.max_batch == 0) opt_.max_batch = 1;
   if (opt_.cache_capacity > 0)
     cache_ = std::make_unique<ShardedLruCache<engine::SolveResult>>(
@@ -95,6 +95,196 @@ std::future<engine::SolveResult> CordonService::submit(engine::Instance inst) {
   return fut;
 }
 
+namespace {
+
+/// Cache key text for one session version.  The "cordon-session" prefix
+/// is disjoint from every canonical instance header ("cordon-instance"),
+/// so version entries can never collide with plain submit() keys; the
+/// delta-chain hash makes two lineages that happen to share (base,
+/// version) but applied different deltas distinct.
+std::string session_version_key(std::uint64_t base_hash, std::uint64_t version,
+                                std::uint64_t chain_hash) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "cordon-session %016llx v%llu chain %016llx\n",
+                static_cast<unsigned long long>(base_hash),
+                static_cast<unsigned long long>(version),
+                static_cast<unsigned long long>(chain_hash));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t CordonService::create_session(engine::Instance base) {
+  if (stopping_.load(std::memory_order_acquire))
+    throw std::runtime_error("CordonService: create_session after shutdown");
+  const engine::Solver* solver = registry_.find(base.kind);
+  if (solver == nullptr)
+    throw std::invalid_argument("CordonService: unknown problem kind '" +
+                                base.kind + "'");
+  telemetry::TraceSpan span("create_session", "service");
+
+  auto session = std::make_shared<Session>();
+  session->solver = solver;
+  engine::InstanceKey key = engine::canonical_key(base);
+  session->base_hash = key.hash;
+  session->chain_hash = key.hash;  // lineage hash seeded from the base
+
+  // Base solve on the calling thread (adopting a pool slot so solver
+  // forks are stealable), checkpointing resumable state when the family
+  // has any.  Reference mode cross-checks with the oracle and never
+  // checkpoints: every append will cold-solve with the oracle too.
+  parallel::ExternalWorkerScope adopt;
+  engine::SolveResult result;
+  if (opt_.use_reference) {
+    result = solver->solve_reference(base);
+  } else {
+    result = solver->solve_checkpoint(base, session->state);
+  }
+  if (cache_ != nullptr)
+    cache_->put_pinned(key.hash, key.text, result);
+  session->base_key_text = std::move(key.text);
+  session->current = std::move(base);
+
+  const std::uint64_t id = next_session_id_.fetch_add(1);
+  {
+    std::lock_guard lock(sessions_mu_);
+    sessions_.emplace(id, std::move(session));
+  }
+  telemetry::gauge_add(telemetry::Gauge::kServiceOpenSessions, 1);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.sessions_created;
+  }
+  return id;
+}
+
+std::future<engine::SolveResult> CordonService::append(std::uint64_t id,
+                                                      engine::Delta delta) {
+  std::promise<engine::SolveResult> promise;
+  std::future<engine::SolveResult> fut = promise.get_future();
+  try {
+    if (stopping_.load(std::memory_order_acquire))
+      throw std::runtime_error("CordonService: append after shutdown");
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard lock(sessions_mu_);
+      auto it = sessions_.find(id);
+      if (it != sessions_.end()) session = it->second;
+    }
+    if (session == nullptr)
+      throw std::invalid_argument("CordonService: no such session " +
+                                  std::to_string(id));
+    telemetry::TraceSpan span("append", "service");
+    std::lock_guard lock(session->mu);
+    promise.set_value(append_locked(*session, delta));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return fut;
+}
+
+engine::SolveResult CordonService::append_locked(Session& s,
+                                                 const engine::Delta& delta) {
+  if (delta.base_version != s.version)
+    throw std::invalid_argument(
+        "CordonService: delta base version " +
+        std::to_string(delta.base_version) + " does not match session version " +
+        std::to_string(s.version));
+  // Validates caps and applies all-or-nothing: a hostile delta leaves
+  // the session's current instance (and version) untouched.
+  engine::apply_delta_inplace(s.current, delta);
+  ++s.version;
+  // Lineage hash: fold each applied delta's text into the running hash.
+  // Not a canonical form (order matters — deliberately: lineages are
+  // linear), just a collision-resistant cache discriminator.
+  s.chain_hash = (s.chain_hash * 1099511628211ull) ^
+                 engine::fnv1a64(engine::to_string(delta));
+  telemetry::count(telemetry::Counter::kSessionAppends);
+
+  const std::string vkey = session_version_key(s.base_hash, s.version,
+                                               s.chain_hash);
+  const std::uint64_t vhash = engine::fnv1a64(vkey);
+
+  // Solver forks must be stealable whether this lands on the resume
+  // path (cheap, sequential) or the cold-fallback parallel solve.
+  parallel::ExternalWorkerScope adopt;
+  engine::SolveResult result;
+  bool resumed = false;
+  if (opt_.use_reference) {
+    result = s.solver->solve_reference(s.current);
+    s.state = nullptr;
+  } else if (!s.solver->incremental() && cache_ != nullptr) {
+    // Non-incremental family: a replayed lineage can serve this version
+    // straight from the cache (there is no state to advance).
+    if (auto hit = cache_->get(vhash, vkey)) {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.session_appends;
+      return *std::move(hit);
+    }
+    engine::ResumeResult rr = s.solver->resume(s.state, s.current, delta);
+    result = std::move(rr.result);
+  } else {
+    // Incremental family (or cache off): always run resume — advancing
+    // the checkpoint is the cheap path, and a cache hit could not hand
+    // back the state the NEXT append needs.
+    engine::ResumeResult rr = s.solver->resume(s.state, s.current, delta);
+    s.state = std::move(rr.state);
+    resumed = rr.resumed;
+    result = std::move(rr.result);
+  }
+  telemetry::count(resumed ? telemetry::Counter::kSessionResumes
+                           : telemetry::Counter::kSessionColdSolves);
+  ++(resumed ? s.resumes : s.cold_solves);
+  if (cache_ != nullptr) cache_->put(vhash, vkey, result);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.session_appends;
+    ++(resumed ? stats_.session_resumes : stats_.session_cold_solves);
+  }
+  return result;
+}
+
+void CordonService::close_session(std::uint64_t id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Wait out any in-flight append so the unpin below cannot race a
+  // resume still reading the session.
+  { std::lock_guard lock(session->mu); }
+  if (cache_ != nullptr)
+    cache_->unpin(session->base_hash, session->base_key_text);
+  telemetry::gauge_add(telemetry::Gauge::kServiceOpenSessions, -1);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.sessions_closed;
+}
+
+std::optional<SessionInfo> CordonService::session_info(
+    std::uint64_t id) const {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    session = it->second;
+  }
+  std::lock_guard lock(session->mu);
+  SessionInfo info;
+  info.id = id;
+  info.kind = session->current.kind;
+  info.version = session->version;
+  info.base_hash = session->base_hash;
+  info.incremental = session->solver->incremental();
+  info.resumes = session->resumes;
+  info.cold_solves = session->cold_solves;
+  return info;
+}
+
 void CordonService::shutdown() {
   {
     std::lock_guard lock(mu_);
@@ -169,7 +359,29 @@ std::string CordonService::metrics_text() const {
      << "cordon_service_largest_batch " << s.largest_batch << '\n'
      << "# HELP cordon_service_cache_entries Result-cache entries resident\n"
         "# TYPE cordon_service_cache_entries gauge\n"
-     << "cordon_service_cache_entries " << cache_size() << '\n';
+     << "cordon_service_cache_entries " << cache_size() << '\n'
+     << "# HELP cordon_service_cache_pinned Cache entries pinned by open "
+        "sessions\n# TYPE cordon_service_cache_pinned gauge\n"
+     << "cordon_service_cache_pinned "
+     << (cache_ == nullptr ? 0 : cache_->pinned()) << '\n'
+     << "# HELP cordon_service_sessions_created_total Sessions created\n"
+        "# TYPE cordon_service_sessions_created_total counter\n"
+     << "cordon_service_sessions_created_total " << s.sessions_created << '\n'
+     << "# HELP cordon_service_sessions_closed_total Sessions closed\n"
+        "# TYPE cordon_service_sessions_closed_total counter\n"
+     << "cordon_service_sessions_closed_total " << s.sessions_closed << '\n'
+     << "# HELP cordon_service_session_appends_total Session appends "
+        "fulfilled\n# TYPE cordon_service_session_appends_total counter\n"
+     << "cordon_service_session_appends_total " << s.session_appends << '\n'
+     << "# HELP cordon_service_session_resumes_total Appends served from "
+        "saved solver state\n"
+        "# TYPE cordon_service_session_resumes_total counter\n"
+     << "cordon_service_session_resumes_total " << s.session_resumes << '\n'
+     << "# HELP cordon_service_session_cold_solves_total Appends served by "
+        "a cold solve\n"
+        "# TYPE cordon_service_session_cold_solves_total counter\n"
+     << "cordon_service_session_cold_solves_total " << s.session_cold_solves
+     << '\n';
   write_stat_fields(os, "cordon_service_cache_", s.cache.to_json_fields());
   write_stat_fields(os, "cordon_service_queue_", s.queue.to_json_fields());
   return os.str();

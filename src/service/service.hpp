@@ -35,12 +35,15 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/dp_stats.hpp"
 #include "src/engine/batch_executor.hpp"
+#include "src/engine/delta.hpp"
 #include "src/engine/instance.hpp"
 #include "src/engine/registry.hpp"
 #include "src/service/sharded_cache.hpp"
@@ -71,9 +74,25 @@ struct ServiceStats {
   std::uint64_t batches = 0;         // dispatcher batches executed
   std::uint64_t coalesced = 0;       // duplicate requests merged in-batch
   std::size_t largest_batch = 0;     // most requests in one dispatch
+  std::uint64_t sessions_created = 0;    // create_session() successes
+  std::uint64_t sessions_closed = 0;     // close_session() calls
+  std::uint64_t session_appends = 0;     // append() futures fulfilled OK
+  std::uint64_t session_resumes = 0;     // appends served from saved state
+  std::uint64_t session_cold_solves = 0; // appends that solved from scratch
   core::CacheStats cache;            // hits / misses / evictions
   core::QueueStats queue;            // submit -> dispatch wait times
   core::BatchStats solver;           // aggregate over executed solves
+};
+
+/// Monitoring snapshot of one open session (CordonService::session_info).
+struct SessionInfo {
+  std::uint64_t id = 0;
+  std::string kind;
+  std::uint64_t version = 0;      // deltas applied so far (base = 0)
+  std::uint64_t base_hash = 0;    // canonical hash of the base instance
+  bool incremental = false;       // family capability (not per-append fate)
+  std::uint64_t resumes = 0;      // appends served from saved state
+  std::uint64_t cold_solves = 0;  // appends that fell back to a cold solve
 };
 
 class CordonService {
@@ -95,6 +114,43 @@ class CordonService {
   /// the dispatcher's batch containing them finishes.  Throws
   /// std::runtime_error if called after shutdown().
   [[nodiscard]] std::future<engine::SolveResult> submit(engine::Instance inst);
+
+  // --- stateful solve sessions (docs/SESSIONS.md) ---------------------------
+  //
+  // A session names a base instance plus a linear lineage of append-only
+  // deltas.  Each append re-solves the grown instance — incrementally
+  // from the family's saved frontier/envelope when it can (lis/lcs/glws
+  // under the restricted update model), via transparent cold fallback
+  // otherwise; callers never branch on the capability.  Versions are
+  // cached under (base hash, version, delta-chain hash) keys, and the
+  // base's canonical cache entry is PINNED for the session's lifetime so
+  // unrelated traffic cannot evict the lineage's anchor.
+
+  /// Solves `base` synchronously on the calling thread (checkpointing
+  /// resumable state), caches the result pinned, and returns the new
+  /// session id.  Throws std::invalid_argument for an unknown kind or
+  /// invalid instance, std::runtime_error after shutdown().
+  [[nodiscard]] std::uint64_t create_session(engine::Instance base);
+
+  /// Applies `delta` on top of the session's current version and
+  /// re-solves.  Runs synchronously on the calling thread; the returned
+  /// future is already settled (kept as a future so hostile deltas —
+  /// over-cap op counts, kind or base_version mismatches — fail THIS
+  /// request instead of the process or the session).  Appends on one
+  /// session serialize on the session's own mutex; different sessions
+  /// run concurrently.  SolveResult::path == kResumed when the append
+  /// was served from saved state.
+  [[nodiscard]] std::future<engine::SolveResult> append(std::uint64_t id,
+                                                       engine::Delta delta);
+
+  /// Forgets the session and unpins its base cache entry.  Appends
+  /// already in flight complete; later appends fail their future.
+  /// Unknown ids are ignored (idempotent).
+  void close_session(std::uint64_t id);
+
+  /// Snapshot of one open session; nullopt after close (or unknown id).
+  [[nodiscard]] std::optional<SessionInfo> session_info(
+      std::uint64_t id) const;
 
   /// Stops admission, drains every pending request, joins the
   /// dispatcher.  Idempotent; called by the destructor.
@@ -121,10 +177,28 @@ class CordonService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// One open session.  `mu` serializes appends (the lineage is linear
+  /// by construction: base_version must match, so concurrent appends on
+  /// one session resolve to one winner and one mismatch failure).
+  struct Session {
+    std::mutex mu;
+    const engine::Solver* solver = nullptr;
+    engine::Instance current;     // grown in place, amortized O(append)
+    std::uint64_t version = 0;
+    std::uint64_t base_hash = 0;
+    std::string base_key_text;    // canonical base text, for unpin on close
+    std::uint64_t chain_hash = 0; // running hash over applied delta texts
+    std::shared_ptr<const engine::SolverState> state;  // null = cold next
+    std::uint64_t resumes = 0;
+    std::uint64_t cold_solves = 0;
+  };
+
   void dispatch_loop();
   void run_batch(std::vector<Pending> taken);
+  engine::SolveResult append_locked(Session& s, const engine::Delta& delta);
 
   ServiceOptions opt_;
+  const engine::ProblemRegistry& registry_;
   engine::BatchExecutor executor_;
   std::unique_ptr<ShardedLruCache<engine::SolveResult>> cache_;  // null = off
 
@@ -145,6 +219,11 @@ class CordonService {
   mutable std::mutex stats_mu_;  // guards stats_ (cache keeps its own)
   ServiceStats stats_;           // batch-side counters; submitted /
                                  // fast-path completed live above
+
+  mutable std::mutex sessions_mu_;  // guards the id -> session map only;
+                                    // per-session work holds Session::mu
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> next_session_id_{1};
 
   std::once_flag join_once_;  // exactly one shutdown() joins
   std::thread dispatcher_;    // started last, joined in shutdown()

@@ -118,35 +118,41 @@ class ShardedLruCache {
   }
 
   /// Inserts (or refreshes) (hash, key) -> value, evicting the shard's
-  /// least recently used entry when the shard is at capacity.
+  /// least recently used UNPINNED entry when the shard is at capacity.
   void put(std::uint64_t hash, std::string key, Value value) {
-    Shard& s = shard(hash);
-    std::lock_guard lock(s.mu);
-    auto [lo, hi] = s.index.equal_range(hash);
-    for (auto it = lo; it != hi; ++it) {
-      if (std::string_view(*it->second->key) == std::string_view(key)) {
-        it->second->value = std::move(value);
-        s.lru.splice(s.lru.begin(), s.lru, it->second);
-        return;
-      }
+    put_impl(hash, std::move(key), std::move(value), /*pin_it=*/false);
+  }
+
+  /// put() + pin() in one critical section: the entry is inserted (or
+  /// refreshed) with its pin count raised by one, so it can never be
+  /// evicted between the insert and a separate pin call.
+  void put_pinned(std::uint64_t hash, std::string key, Value value) {
+    put_impl(hash, std::move(key), std::move(value), /*pin_it=*/true);
+  }
+
+  /// Raises the entry's pin count; a pinned entry is skipped by LRU
+  /// eviction (sessions pin their base result so a burst of unrelated
+  /// traffic cannot evict the state the whole lineage re-probes).
+  /// Returns false when (hash, key) is not resident.
+  bool pin(std::uint64_t hash, std::string_view key) {
+    return adjust_pins(hash, key, +1);
+  }
+
+  /// Lowers the pin count (saturating at zero); the entry re-enters
+  /// normal LRU eviction once every pin is released.  Returns false
+  /// when (hash, key) is not resident.
+  bool unpin(std::uint64_t hash, std::string_view key) {
+    return adjust_pins(hash, key, -1);
+  }
+
+  /// Entries currently pinned, across shards (monitoring snapshot).
+  [[nodiscard]] std::size_t pinned() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      for (const Entry& e : s->lru) n += e.pins > 0 ? 1 : 0;
     }
-    if (s.lru.size() >= per_shard_capacity_) {
-      auto last = std::prev(s.lru.end());
-      auto [elo, ehi] = s.index.equal_range(last->hash);
-      for (auto it = elo; it != ehi; ++it) {
-        if (it->second == last) {
-          s.index.erase(it);
-          break;
-        }
-      }
-      s.lru.pop_back();
-      ++s.stats.evictions;
-    }
-    s.lru.push_front(Entry{
-        hash, std::make_shared<const std::string>(std::move(key)),
-        std::move(value)});
-    s.index.emplace(hash, s.lru.begin());
-    ++s.stats.insertions;
+    return n;
   }
 
   /// Aggregated counters across shards (monotonic snapshot).
@@ -196,6 +202,7 @@ class ShardedLruCache {
     std::uint64_t hash;
     KeyHandle key;
     Value value;
+    std::uint32_t pins = 0;  // > 0 exempts the entry from eviction
   };
 
   // The stored hashes are already 64-bit FNV-1a: feed them through.
@@ -217,6 +224,64 @@ class ShardedLruCache {
   Shard& shard(std::uint64_t hash) {
     // High bits: independent of the multimap's low-bit bucket choice.
     return *shards_[(hash >> 48) % shards_.size()];
+  }
+
+  void put_impl(std::uint64_t hash, std::string key, Value value,
+                bool pin_it) {
+    Shard& s = shard(hash);
+    std::lock_guard lock(s.mu);
+    auto [lo, hi] = s.index.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (std::string_view(*it->second->key) == std::string_view(key)) {
+        it->second->value = std::move(value);
+        if (pin_it) ++it->second->pins;
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        return;
+      }
+    }
+    if (s.lru.size() >= per_shard_capacity_) evict_one_locked(s);
+    s.lru.push_front(Entry{
+        hash, std::make_shared<const std::string>(std::move(key)),
+        std::move(value), pin_it ? 1u : 0u});
+    s.index.emplace(hash, s.lru.begin());
+    ++s.stats.insertions;
+  }
+
+  /// Drops the least recently used entry with no pins.  When EVERY
+  /// resident entry is pinned the shard grows past its capacity instead
+  /// — a session base must outlive arbitrary unrelated traffic, and the
+  /// overshoot is bounded by the number of open sessions.
+  void evict_one_locked(Shard& s) {
+    for (auto it = s.lru.end(); it != s.lru.begin();) {
+      --it;
+      if (it->pins > 0) continue;
+      auto [elo, ehi] = s.index.equal_range(it->hash);
+      for (auto eit = elo; eit != ehi; ++eit) {
+        if (eit->second == it) {
+          s.index.erase(eit);
+          break;
+        }
+      }
+      s.lru.erase(it);
+      ++s.stats.evictions;
+      return;
+    }
+  }
+
+  bool adjust_pins(std::uint64_t hash, std::string_view key, int delta) {
+    Shard& s = shard(hash);
+    std::lock_guard lock(s.mu);
+    auto [lo, hi] = s.index.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (std::string_view(*it->second->key) == key) {
+        if (delta > 0)
+          ++it->second->pins;
+        else if (it->second->pins > 0)
+          --it->second->pins;
+        return true;
+      }
+    }
+    return false;
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

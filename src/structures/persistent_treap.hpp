@@ -101,6 +101,32 @@ class PersistentIntervalTreap {
     return best;
   }
 
+  /// find_first plus the inorder predecessor of the answer: returns
+  /// {first triple with pred true (or nullptr), last triple with pred
+  /// false (or nullptr)}.  With a monotone pred the two are adjacent in
+  /// key order — the descent that settles the partition point visits
+  /// both, so no second traversal is needed.  The GLWS envelope insert
+  /// uses the predecessor to binary-search a crossover that falls
+  /// strictly inside it.  Pointers are into the arena: invalidated by
+  /// the next mutating call, copy out before inserting.
+  template <typename Pred>
+  [[nodiscard]] std::pair<const DecisionInterval*, const DecisionInterval*>
+  find_first_with_prev(Ref t, const Pred& pred) const {
+    const DecisionInterval* first = nullptr;
+    const DecisionInterval* prev = nullptr;
+    while (!is_nil(t)) {
+      const Node& nd = nodes_[t];
+      if (pred(nd.iv)) {
+        first = &nd.iv;
+        t = nd.left;
+      } else {
+        prev = &nd.iv;
+        t = nd.right;
+      }
+    }
+    return {first, prev};
+  }
+
   /// In-order flatten of a version.
   void flatten(Ref t, std::vector<DecisionInterval>& out) const {
     if (is_nil(t)) return;

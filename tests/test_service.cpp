@@ -90,6 +90,74 @@ TEST(ShardedLruCache, CapacitySplitsAcrossShards) {
   EXPECT_EQ(tiny.capacity(), 8u);
 }
 
+TEST(ShardedLruCache, EvictionSkipsPinnedEntries) {
+  // One shard so recency order is deterministic.
+  cs::ShardedLruCache<int> cache(2, 1);
+  cache.put(h("a"), "a", 1);
+  EXPECT_TRUE(cache.pin(h("a"), "a"));
+  cache.put(h("b"), "b", 2);  // a is now LRU-oldest, but pinned
+  cache.put(h("c"), "c", 3);  // must evict b, the oldest unpinned
+  EXPECT_TRUE(cache.get(h("a"), "a").has_value());
+  EXPECT_FALSE(cache.get(h("b"), "b").has_value());
+  EXPECT_TRUE(cache.get(h("c"), "c").has_value());
+  EXPECT_EQ(cache.pinned(), 1u);
+}
+
+TEST(ShardedLruCache, UnpinReentersLruOrder) {
+  cs::ShardedLruCache<int> cache(2, 1);
+  cache.put_pinned(h("a"), "a", 1);
+  EXPECT_EQ(cache.pinned(), 1u);
+  EXPECT_TRUE(cache.unpin(h("a"), "a"));
+  EXPECT_EQ(cache.pinned(), 0u);
+  cache.put(h("b"), "b", 2);
+  cache.put(h("c"), "c", 3);  // a unpinned and oldest: evicted normally
+  EXPECT_FALSE(cache.get(h("a"), "a").has_value());
+}
+
+TEST(ShardedLruCache, PinsAreRefcounted) {
+  cs::ShardedLruCache<int> cache(1, 1);
+  cache.put_pinned(h("a"), "a", 1);
+  EXPECT_TRUE(cache.pin(h("a"), "a"));  // second pinner
+  EXPECT_TRUE(cache.unpin(h("a"), "a"));
+  cache.put(h("b"), "b", 2);  // one pin still held: a survives
+  EXPECT_TRUE(cache.get(h("a"), "a").has_value());  // a is MRU now
+  EXPECT_TRUE(cache.unpin(h("a"), "a"));            // last pin released
+  cache.put(h("c"), "c", 3);  // evicts b, the LRU-oldest unpinned
+  cache.put(h("d"), "d", 4);  // then a: no longer exempt
+  EXPECT_FALSE(cache.get(h("b"), "b").has_value());
+  EXPECT_FALSE(cache.get(h("a"), "a").has_value());
+}
+
+TEST(ShardedLruCache, PinOnAbsentKeyReportsFalse) {
+  cs::ShardedLruCache<int> cache(2, 1);
+  EXPECT_FALSE(cache.pin(h("ghost"), "ghost"));
+  EXPECT_FALSE(cache.unpin(h("ghost"), "ghost"));
+}
+
+TEST(ShardedLruCache, AllPinnedShardOvershootsInsteadOfEvicting) {
+  cs::ShardedLruCache<int> cache(2, 1);
+  cache.put_pinned(h("a"), "a", 1);
+  cache.put_pinned(h("b"), "b", 2);
+  cache.put(h("c"), "c", 3);  // every resident entry pinned: grow past cap
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_TRUE(cache.get(h("a"), "a").has_value());
+  EXPECT_TRUE(cache.get(h("b"), "b").has_value());
+  EXPECT_TRUE(cache.get(h("c"), "c").has_value());
+}
+
+TEST(ShardedLruCache, PutPinnedRefreshRaisesPinCount) {
+  cs::ShardedLruCache<int> cache(2, 1);
+  cache.put(h("a"), "a", 1);
+  cache.put_pinned(h("a"), "a", 9);  // refresh + pin in one step
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(h("a"), "a"), 9);
+  EXPECT_EQ(cache.pinned(), 1u);
+  cache.put(h("b"), "b", 2);
+  cache.put(h("c"), "c", 3);
+  EXPECT_TRUE(cache.get(h("a"), "a").has_value());  // still pinned
+}
+
 // --- CordonService: basics --------------------------------------------------
 
 TEST(CordonService, SingleSubmitMatchesDirectSolve) {
