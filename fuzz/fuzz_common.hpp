@@ -1,0 +1,65 @@
+// Shared assertions for the wire-format fuzz harnesses.
+//
+// FUZZ_ASSERT is active in every build configuration (unlike
+// CORDON_DCHECK): a fuzz target exists to turn contract violations into
+// crashes, so its own checks must never compile away.  abort() is what
+// libFuzzer and the standalone driver both report as a finding.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/engine/instance.hpp"
+
+#define FUZZ_ASSERT(cond, why)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s\n  %s at %s:%d\n",   \
+                   #cond, why, __FILE__, __LINE__);                     \
+      std::fflush(stderr);                                              \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+namespace cordon::fuzz {
+
+/// Every size a successfully parsed payload declares or materializes
+/// must respect kMaxDeclaredSize — this is the cap contract the parser
+/// promises the solvers downstream ("hostile input fails the future,
+/// never the process").
+struct CapCheckVisitor {
+  using u64 = std::uint64_t;
+  static constexpr u64 kCap = engine::kMaxDeclaredSize;
+
+  void operator()(const engine::LisInstance& p) const {
+    FUZZ_ASSERT(p.values.size() <= kCap, "lis values over cap");
+  }
+  void operator()(const engine::LcsInstance& p) const {
+    FUZZ_ASSERT(p.a.size() <= kCap && p.b.size() <= kCap, "lcs over cap");
+  }
+  void operator()(const engine::GlwsInstance& p) const {
+    FUZZ_ASSERT(p.n <= kCap, "glws n over cap");
+  }
+  void operator()(const engine::KglwsInstance& p) const {
+    FUZZ_ASSERT(p.n <= kCap && p.k <= kCap, "kglws n/k over cap");
+  }
+  void operator()(const engine::GapInstance& p) const {
+    FUZZ_ASSERT(p.a.size() <= kCap && p.b.size() <= kCap, "gap over cap");
+  }
+  void operator()(const engine::OatInstance& p) const {
+    FUZZ_ASSERT(p.weights.size() <= kCap, "oat weights over cap");
+  }
+  void operator()(const engine::ObstInstance& p) const {
+    FUZZ_ASSERT(p.weights.size() <= kCap, "obst weights over cap");
+  }
+  void operator()(const engine::TreeGlwsInstance& p) const {
+    FUZZ_ASSERT(p.parent.size() <= kCap, "treeglws parent over cap");
+  }
+  void operator()(const engine::DagInstance& p) const {
+    FUZZ_ASSERT(p.n <= kCap, "dag states over cap");
+    FUZZ_ASSERT(p.boundary.size() <= kCap, "dag boundary over cap");
+    FUZZ_ASSERT(p.edges.size() <= kCap, "dag edges over cap");
+  }
+};
+
+}  // namespace cordon::fuzz

@@ -1,0 +1,97 @@
+// Fuzz target: delta parse + apply_delta_inplace (docs/SESSIONS.md).
+//
+// Input framing: <instance text> NUL <delta text> — the text grammars
+// never contain NUL, so the first zero byte splits unambiguously (no
+// separator, and the whole input is treated as a delta against a small
+// fixed base, so pure delta-grammar fuzzing still gets coverage).
+//
+// Contract under hostile bytes:
+//   * parse_delta either succeeds or throws std::runtime_error /
+//     std::invalid_argument, and a successful parse respects
+//     kMaxDeltaOps;
+//   * apply_delta_inplace is all-or-nothing: on rejection
+//     (std::invalid_argument) the base instance is byte-identical to
+//     what it was before the call;
+//   * a successful apply respects the kMaxDeclaredSize result caps and
+//     is deterministic (applying the same delta to an equal base gives
+//     byte-identical results).
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz/fuzz_common.hpp"
+#include "src/engine/delta.hpp"
+#include "src/engine/instance.hpp"
+
+using namespace cordon;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string base_text, delta_text;
+  const char* bytes = reinterpret_cast<const char*>(data);
+  if (const void* nul = std::memchr(bytes, '\0', size)) {
+    std::size_t split = static_cast<std::size_t>(
+        static_cast<const char*>(nul) - bytes);
+    base_text.assign(bytes, split);
+    delta_text.assign(bytes + split + 1, size - split - 1);
+  } else {
+    base_text = "cordon-instance v1 lis\nvalues 3 1 2\nend\n";
+    delta_text.assign(bytes, size);
+  }
+
+  engine::Instance base;
+  try {
+    base = engine::from_string(base_text);
+  } catch (const std::runtime_error&) {
+    return 0;
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+
+  engine::Delta delta;
+  try {
+    delta = engine::delta_from_string(delta_text);
+  } catch (const std::runtime_error&) {
+    return 0;
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+  FUZZ_ASSERT(engine::delta_op_count(delta) <= engine::kMaxDeltaOps,
+              "parsed delta exceeds the op cap");
+
+  // Delta serialization fixpoint, mirroring the instance harness.
+  const std::string dcanon = engine::to_string(delta);
+  try {
+    FUZZ_ASSERT(engine::to_string(engine::delta_from_string(dcanon)) == dcanon,
+                "delta serialization is not a fixpoint");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "canonical delta failed to re-parse: %s\n", e.what());
+    std::abort();
+  }
+
+  const std::string before = engine::to_string(base);
+  engine::Instance grown = base;
+  bool applied = true;
+  try {
+    engine::apply_delta_inplace(grown, delta);
+  } catch (const std::invalid_argument&) {
+    applied = false;  // the ONLY rejection type the contract allows
+  }
+
+  if (!applied) {
+    FUZZ_ASSERT(engine::to_string(grown) == before,
+                "rejected delta mutated the base (all-or-nothing broken)");
+    return 0;
+  }
+
+  std::visit(fuzz::CapCheckVisitor{}, grown.payload);
+
+  // Determinism: a second apply onto an equal base must agree.
+  engine::Instance grown2 = base;
+  engine::apply_delta_inplace(grown2, delta);  // must not throw this time
+  FUZZ_ASSERT(engine::to_string(grown2) == engine::to_string(grown),
+              "apply_delta_inplace is not deterministic");
+  return 0;
+}

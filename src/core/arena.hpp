@@ -44,6 +44,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/core/audit.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::core {
@@ -67,6 +68,14 @@ class Arena {
 
   [[nodiscard]] Mark mark() const noexcept { return {cur_, off_}; }
 
+  /// True when the bump position is at or past `m` — i.e. every
+  /// allocation made under `m` is still below the current position.  A
+  /// false answer at ArenaScope exit means some inner scope rewound
+  /// past its parent's mark (broken LIFO nesting).
+  [[nodiscard]] bool at_or_after(Mark m) const noexcept {
+    return cur_ > m.chunk || (cur_ == m.chunk && off_ >= m.offset);
+  }
+
   /// Pops every allocation made since `m` (LIFO).  Never releases chunk
   /// memory — that is the point: the next epoch re-bumps over warm pages.
   void rewind(Mark m) noexcept {
@@ -80,6 +89,8 @@ class Arena {
   /// slow path (new chunk) runs only while the arena grows toward its
   /// high-water mark.
   void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    CORDON_DCHECK(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two");
     if (bytes == 0) bytes = 1;
     while (cur_ < chunks_.size()) {
       Chunk& c = chunks_[cur_];
@@ -163,7 +174,14 @@ class Arena {
 class ArenaScope {
  public:
   explicit ArenaScope(Arena& a) noexcept : arena_(a), mark_(a.mark()) {}
-  ~ArenaScope() { arena_.rewind(mark_); }
+  ~ArenaScope() {
+    // LIFO epoch balance: by destruction time every scope opened after
+    // this one must have closed (and rewound), so the bump position
+    // cannot sit below this scope's mark.
+    CORDON_DCHECK(arena_.at_or_after(mark_),
+                  "arena epoch closed out of LIFO order");
+    arena_.rewind(mark_);
+  }
   ArenaScope(const ArenaScope&) = delete;
   ArenaScope& operator=(const ArenaScope&) = delete;
 

@@ -277,6 +277,7 @@ inline bool mask_gather_any(const std::uint8_t* mask, const std::uint32_t* idx,
 /// Parallel scatter_fill: blocks of `idx` are forked across the pool and
 /// each block runs the contiguous kernel (the frontier-finalization
 /// pattern of the LIS/LCS cordon rounds).  `idx` entries must be unique.
+// lint: oracle=scatter_fill (pure block decomposition over that kernel)
 inline void parallel_scatter_fill(std::uint32_t* dst, const std::size_t* idx,
                                   std::size_t n, std::uint32_t value) {
   constexpr std::size_t kBlock = 4096;
@@ -294,6 +295,7 @@ inline void parallel_scatter_fill(std::uint32_t* dst, const std::size_t* idx,
 /// for transition evaluators that are not (yet) raw arrays (type-erased
 /// cost functions).  Single pass, branchless select; inlines to the array
 /// kernels' codegen when f is a concrete capture.
+// lint: oracle=argmin_add (same leftmost-< contract, f(i) for a[i]+b[i])
 template <typename F>
 inline ArgMin argmin_transform(std::size_t lo, std::size_t hi, const F& f) {
   ArgMin best{kInf, lo};
@@ -308,6 +310,7 @@ inline ArgMin argmin_transform(std::size_t lo, std::size_t hi, const F& f) {
 
 /// argmin_transform with ties resolved toward the LARGER index (what the
 /// concave envelope construction needs to stay consistent with DM).
+// lint: oracle=argmin_add_last (same rightmost-tie contract via <=)
 template <typename F>
 inline ArgMin argmin_transform_last(std::size_t lo, std::size_t hi,
                                     const F& f) {

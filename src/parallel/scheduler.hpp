@@ -68,6 +68,8 @@ struct Job {
 
   void run() {
     execute(this);
+    // order: release — publishes the job's side effects to the joiner's
+    // acquire load of `done` in wait_until_done.
     done.store(true, std::memory_order_release);
   }
 };

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/audit.hpp"
+
 namespace cordon::parallel {
 
 template <typename T>
@@ -32,15 +34,27 @@ class WorkDeque {
 
   /// Owner only.  False when full: the caller must run `item` inline.
   bool push(T* item) {
+    // order: relaxed — bottom is owner-private; only this thread writes it.
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // order: acquire — pairs with thieves' seq_cst CAS on top; stale top
+    // only makes the full check conservative.
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // Thieves only advance top toward bottom, so the owner can never
+    // observe more than capacity outstanding or top past bottom.
+    CORDON_DCHECK(t <= b, "deque top ran past bottom");
+    CORDON_DCHECK(b - t <= static_cast<std::int64_t>(capacity_),
+                  "deque holds more than its capacity");
     if (b - t >= static_cast<std::int64_t>(capacity_)) return false;
     // Release on the slot itself (not just the fence): the thief's
     // acquire load of the same slot then carries the job's plain fields
     // with it — this is what lets ThreadSanitizer verify the handoff.
+    // order: release — publishes the job's plain fields to the thief's
+    // acquire load of this same slot.
     buffer_[static_cast<std::size_t>(b) & mask_].store(
         item, std::memory_order_release);
     std::atomic_thread_fence(std::memory_order_release);
+    // order: relaxed — the fence above orders the slot write before this
+    // bottom bump for steal()'s fence-separated load pair.
     bottom_.store(b + 1, std::memory_order_relaxed);
     return true;
   }
@@ -48,21 +62,34 @@ class WorkDeque {
   /// Owner only.  Most recently pushed item, or nullptr if empty or the
   /// last item was lost to a thief.
   T* pop() {
+    // order: relaxed — owner-private read-modify of bottom; the seq_cst
+    // fence below is what makes the reservation visible to thieves.
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: relaxed — ordered against thieves by the fence above (the
+    // PPoPP'13 Dekker-style handshake on bottom/top).
     std::int64_t t = top_.load(std::memory_order_relaxed);
+    // After the owner's reservation, top may be at most one past b
+    // (the deque was empty and a thief took nothing more).
+    CORDON_DCHECK(t <= b + 1, "deque top overtook the owner's reservation");
     if (t > b) {  // empty
+      // order: relaxed — restoring the owner-private reservation.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
     }
+    // order: relaxed — the owner published this slot itself, so it needs
+    // no synchronization to read it back.
     T* item = buffer_[static_cast<std::size_t>(b) & mask_].load(
         std::memory_order_relaxed);
     if (t == b) {  // last element: race with thieves
+      // order: seq_cst — arbitration for the final item must totally
+      // order against the thief's CAS; relaxed on failure (retry-free).
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         item = nullptr;  // lost the race
       }
+      // order: relaxed — owner-private restore after the arbitration.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return item;
@@ -70,12 +97,21 @@ class WorkDeque {
 
   /// Any thread.  Oldest item, or nullptr (empty / lost the race).
   T* steal() {
+    // order: acquire — a thief must observe slot contents no older than
+    // the top index it read.
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: acquire — pairs with the owner's release fence in push();
+    // the seq_cst fence between the two loads closes the Dekker race
+    // against pop()'s reservation.
     std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
+    // order: acquire — pairs with push()'s release store of the slot;
+    // carries the job's plain fields across the steal.
     T* item = buffer_[static_cast<std::size_t>(t) & mask_].load(
         std::memory_order_acquire);
+    // order: seq_cst — claim arbitration against the owner's final-item
+    // CAS and other thieves; relaxed on failure (no retry here).
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;  // lost to another thief or the owner
@@ -89,6 +125,8 @@ class WorkDeque {
   /// (see EventCount) — any push that this probe misses will then see
   /// the registered waiter and wake it.
   [[nodiscard]] bool maybe_nonempty() const noexcept {
+    // order: acquire — ordered after the caller's waiter registration so
+    // a concurrent push either shows up here or sees the waiter.
     return bottom_.load(std::memory_order_acquire) >
            top_.load(std::memory_order_acquire);
   }

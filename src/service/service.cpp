@@ -194,6 +194,12 @@ engine::SolveResult CordonService::append_locked(Session& s,
   // Validates caps and applies all-or-nothing: a hostile delta leaves
   // the session's current instance (and version) untouched.
   engine::apply_delta_inplace(s.current, delta);
+  // Version linearity: whatever path serves this append below — resume,
+  // cold fallback, version-cache hit, or a solver throw unwinding — the
+  // lineage must leave exactly one version ahead of where it was.
+  [[maybe_unused]] const std::uint64_t version_before = s.version;
+  CORDON_AUDIT_SCOPE(CORDON_DCHECK(s.version == version_before + 1,
+                                   "session version linearity broken"));
   ++s.version;
   // Lineage hash: fold each applied delta's text into the running hash.
   // Not a canonical form (order matters — deliberately: lineages are

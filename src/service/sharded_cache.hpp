@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/audit.hpp"
 #include "src/core/dp_stats.hpp"
 
 namespace cordon::service {
@@ -274,10 +275,17 @@ class ShardedLruCache {
     auto [lo, hi] = s.index.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
       if (std::string_view(*it->second->key) == key) {
-        if (delta > 0)
+        if (delta > 0) {
           ++it->second->pins;
-        else if (it->second->pins > 0)
-          --it->second->pins;
+        } else {
+          // The public contract saturates at zero, but a zero-pin unpin
+          // means some owner released a pin it never took (or twice) —
+          // exactly the imbalance that would let a session base get
+          // evicted under a live lineage.  Fail loudly in audit builds.
+          CORDON_DCHECK(it->second->pins > 0,
+                        "cache pin refcount would go negative");
+          if (it->second->pins > 0) --it->second->pins;
+        }
         return true;
       }
     }

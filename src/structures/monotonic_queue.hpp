@@ -11,9 +11,10 @@
 // Eval is a callable eval(j, i) -> double returning E[j] + w(j, i).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <deque>
+
+#include "src/core/audit.hpp"
 
 namespace cordon::structures {
 
@@ -32,9 +33,10 @@ class MonotonicQueue {
   /// Best candidate for state i among all inserted so far.  Consumes
   /// intervals whose range ended before i (amortized O(1)).
   [[nodiscard]] std::size_t best(std::size_t i) {
-    assert(!q_.empty());
+    CORDON_DCHECK(!q_.empty(), "envelope query on an empty deque");
     while (q_.front().r < i) q_.pop_front();
-    assert(q_.front().l <= i);
+    CORDON_DCHECK(q_.front().l <= i && i <= q_.front().r,
+                  "envelope intervals left a gap at the queried state");
     return q_.front().j;
   }
 
@@ -59,6 +61,7 @@ class MonotonicQueue {
         }
         b.r = start - 1;
         q_.push_back({start, n_, j});
+        check_convex_back();
         return;
       }
       // j loses at start; binary search the first state where j wins.
@@ -73,6 +76,7 @@ class MonotonicQueue {
       }
       b.r = hi2 - 1;
       q_.push_back({hi2, n_, j});
+      check_convex_back();
       return;
     }
     if (q_.empty()) {
@@ -129,6 +133,20 @@ class MonotonicQueue {
   [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
 
  private:
+  // Convexity at the insertion seam, O(1) per insert: after a convex
+  // insert splices {start, n} behind the trimmed interval, the two must
+  // abut exactly (no gap, no overlap), the seam must be ordered, and
+  // the envelope must still cover through state n.
+  void check_convex_back() const {
+    CORDON_DCHECK(q_.back().l <= q_.back().r && q_.back().r == n_,
+                  "convex envelope no longer extends to n");
+    CORDON_DCHECK(q_.size() < 2 ||
+                      q_[q_.size() - 2].r + 1 == q_.back().l,
+                  "convex envelope intervals overlap or leave a gap");
+    CORDON_DCHECK(q_.size() < 2 || q_[q_.size() - 2].j < q_.back().j,
+                  "convex envelope decisions out of order");
+  }
+
   std::size_t n_;
   Eval eval_;
   std::deque<DecisionInterval> q_;

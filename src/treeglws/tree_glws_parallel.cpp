@@ -239,13 +239,13 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
             }
           }
         });
-        for (std::uint32_t v : batch) probed.push_back(v);
+        for (std::uint32_t v : batch) probed.push_back(v);  // lint: allow-alloc (high-water scratch, reused across rounds)
         cordon_of[r] = min_sentinel.load(std::memory_order_relaxed);
         // Keep doubling while the cordon (if any) is still beyond the
         // window: nodes up to cordon-1 on this subtree's paths may be
         // ready and must be probed this round.
         if (dhi < max_depth && (cordon_of[r] == kUnset || cordon_of[r] > dhi + 1)) {
-          still.push_back(r);
+          still.push_back(r);  // lint: allow-alloc (warm swap buffer)
         }
       }
       std::swap(active, still);  // both buffers stay warm
@@ -277,9 +277,9 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
     next_roots.clear();
     // Process ready nodes in increasing depth so parents are done first.
     order.clear();
-    order.reserve(probed.size());
+    order.reserve(probed.size());  // lint: allow-alloc (high-water scratch, reused across rounds)
     for (std::uint32_t v : probed)
-      if (ready[v]) order.push_back(v);
+      if (ready[v]) order.push_back(v);  // lint: allow-alloc (within reserved capacity)
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
                 return et.depth[a] < et.depth[b];
@@ -288,10 +288,10 @@ TreeGlwsResult tree_glws_parallel(const RootedTree& t, double d0,
       env[v] = insert_candidate(env[t.parent[v]], v);
     for (std::uint32_t v : order)
       for (std::uint32_t c : t.children[v])
-        if (!ready[c]) next_roots.push_back(c);
+        if (!ready[c]) next_roots.push_back(c);  // lint: allow-alloc (high-water scratch, reused across rounds)
     // Subtree roots that stayed blocked roll over to the next round.
     for (std::uint32_t r : roots)
-      if (!ready[r]) next_roots.push_back(r);
+      if (!ready[r]) next_roots.push_back(r);  // lint: allow-alloc (high-water scratch, reused across rounds)
 
     // Reset per-round scratch.
     for (std::uint32_t v : probed) {

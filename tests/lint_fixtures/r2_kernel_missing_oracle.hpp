@@ -1,0 +1,22 @@
+// lint-fixture: R2
+//
+// A vectorized kernel with no same-name kernels::scalar reference and
+// no `// lint: oracle=<name>` note.  Never compiled — cordon_lint.py
+// --fixtures must flag argmin_fancy.
+
+namespace scalar {
+
+inline int argmin_ref(const int* a, int n) {
+  int best = 0;
+  for (int i = 1; i < n; ++i)
+    if (a[i] < a[best]) best = i;
+  return best;
+}
+
+}  // namespace scalar
+
+inline int argmin_fancy(const int* a, int n) {  // R2: no scalar oracle
+  int best = 0;
+  for (int i = 1; i < n; ++i) best = a[i] < a[best] ? i : best;
+  return best;
+}

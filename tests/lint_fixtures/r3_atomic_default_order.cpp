@@ -1,0 +1,14 @@
+// lint-fixture: R3
+//
+// Atomic accesses that rely on the default seq_cst order or omit the
+// adjacent `// order:` justification.  Never compiled — cordon_lint.py
+// --fixtures must flag both.
+#include <atomic>
+
+int read_flag(std::atomic<int>& flag) {
+  return flag.load();  // R3: implicit seq_cst
+}
+
+void set_flag(std::atomic<int>& flag) {
+  flag.store(1, std::memory_order_release);  // R3: no order: comment
+}

@@ -1,0 +1,19 @@
+// lint-fixture: R4
+//
+// A telemetry counter that is declared but never incremented anywhere,
+// plus an exported metric name missing from the documentation.  Never
+// compiled — cordon_lint.py --fixtures must flag both.
+
+enum class Counter : int {
+  kNeverTouched,  // R4: no increment site exists
+  kCount
+};
+
+struct MetricInfo {
+  const char* name;
+  const char* help;
+};
+
+inline constexpr MetricInfo kCounterInfo[] = {
+    {"cordon_never_touched_total", "declared and forgotten"},  // R4
+};

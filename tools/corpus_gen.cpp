@@ -1,0 +1,91 @@
+// Emits the checked-in seed corpus for the wire-format fuzzers
+// (fuzz/fuzz_instance_parse.cpp, fuzz/fuzz_delta_apply.cpp); run via
+// scripts/make_corpus.sh, which also adds the hand-written hostile
+// seeds.
+//
+//   cordon_corpus_gen <outdir>
+//
+// writes <outdir>/instance/<kind>.inst — one canonical instance per
+// registered family — and two delta seeds per appendable family:
+// <outdir>/delta/<kind>.delta (bare delta text, exercised against the
+// fuzzer's fixed base) and <outdir>/delta/<kind>_pair.bin (the fuzzer's
+// `<base> NUL <delta>` framing, so the apply path of every family is
+// covered from the very first replay).  Sizes are tiny on purpose:
+// seeds exist to reach parser states, not to be workloads.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/engine/delta.hpp"
+#include "src/engine/instance.hpp"
+#include "src/engine/registry.hpp"
+#include "src/engine/solver.hpp"
+
+namespace fs = std::filesystem;
+using namespace cordon;
+
+namespace {
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "corpus_gen: failed to write %s\n",
+                 path.string().c_str());
+    std::exit(1);
+  }
+}
+
+/// dag has no prefix/slice (deltas carry explicit states/edges), so its
+/// append seed is built by hand: two fresh states wired to the old tail.
+engine::Delta dag_delta(const engine::Instance& full) {
+  const auto& d = std::get<engine::DagInstance>(full.payload);
+  auto old_n = static_cast<std::uint32_t>(d.n);
+  engine::DagInstance append;
+  append.n = 2;
+  append.objective = d.objective;
+  append.boundary = {{old_n, 0.0}};
+  append.edges = {{old_n - 1, old_n, 1.0, true},
+                  {old_n, old_n + 1, 2.0, true}};
+  return {full.kind, /*base_version=*/0, std::move(append)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: cordon_corpus_gen <outdir>\n");
+    return 2;
+  }
+  const fs::path out(argv[1]);
+  fs::create_directories(out / "instance");
+  fs::create_directories(out / "delta");
+
+  const engine::GenOptions opt{/*n=*/40, /*k=*/3, /*seed=*/7};
+  int files = 0;
+  for (const auto& solver : engine::builtin_registry().solvers()) {
+    const std::string kind(solver->key());
+    const engine::Instance full = solver->generate(opt);
+    write_file(out / "instance" / (kind + ".inst"), engine::to_string(full));
+    ++files;
+
+    engine::Instance base;
+    engine::Delta delta;
+    if (kind == "dag") {
+      base = full;
+      delta = dag_delta(full);
+    } else {
+      base = engine::prefix_instance(full, 24);
+      delta = engine::slice_delta(full, 24, 40, /*base_version=*/0);
+    }
+    const std::string delta_text = engine::to_string(delta);
+    write_file(out / "delta" / (kind + ".delta"), delta_text);
+    write_file(out / "delta" / (kind + "_pair.bin"),
+               engine::to_string(base) + '\0' + delta_text);
+    files += 2;
+  }
+  std::printf("corpus_gen: wrote %d seed(s) under %s\n", files,
+              out.string().c_str());
+  return 0;
+}
