@@ -17,13 +17,20 @@
 //       print per-request latency and aggregate throughput.
 //   cordon_cli stress [--clients C] [--requests R] [--distinct D]
 //                     [--n SIZE] [--seed S] [--window-us W] [--batch B]
-//                     [--cache CAP] [--reference]
+//                     [--cache CAP] [--reference] [--deadline-us D]
+//                     [--max-queue Q] [--shed-oldest]
 //       Drive a CordonService with C client threads, each submitting R
 //       asynchronous requests drawn from a pool of D distinct generated
-//       instances; every result is checked against a precomputed
-//       expected objective, and throughput / cache hit rate / queue
-//       waits are printed.  --metrics appends the service's Prometheus
-//       exposition (CordonService::metrics_text) to stdout.
+//       instances; every completed result is checked against a
+//       precomputed expected objective and per-category outcome counts
+//       (ok / shed / expired / cancelled) are printed.  --deadline-us
+//       attaches a per-request deadline, --max-queue bounds the
+//       dispatcher queue (--shed-oldest picks the evict-head overload
+//       policy instead of reject-new); requests failed by those
+//       features count toward their category, and the exit status is
+//       nonzero only for wrong objectives or failures outside the
+//       SolveError taxonomy.  --metrics appends the service's
+//       Prometheus exposition (CordonService::metrics_text) to stdout.
 //       --sessions S switches to session mode: C client threads
 //       interleave append-only deltas onto S shared solve sessions
 //       (families cycling every delta-capable kind), each version's
@@ -47,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/cancel.hpp"
 #include "src/core/trace.hpp"
 #include "src/engine/batch_executor.hpp"
 #include "src/engine/delta.hpp"
@@ -72,6 +80,8 @@ int usage() {
                "                  [--seed S] [--window-us W] [--batch B] "
                "[--cache CAP] [--reference] [--metrics]\n"
                "                  [--sessions S] [--appends A] [--chunk C]\n"
+               "                  [--deadline-us D] [--max-queue Q] "
+               "[--shed-oldest]\n"
                "       cordon_cli session <problem> [--n N] [--appends A] "
                "[--chunk C] [--seed S] [--metrics]\n");
   return 2;
@@ -85,6 +95,8 @@ struct Args {
   std::uint64_t clients = 4, requests = 256, distinct = 8;
   std::uint64_t window_us = 500, batch = 64, cache = 4096;
   std::uint64_t sessions = 0, appends = 8, chunk = 0;
+  std::uint64_t deadline_us = 0, max_queue = 0;  // 0 = none/unbounded
+  bool shed_oldest = false;
   std::string out;
 };
 
@@ -132,6 +144,12 @@ bool parse_args(int argc, char** argv, int first, Args& a) {
       if (!next_u64(a.appends)) return false;
     } else if (arg == "--chunk") {
       if (!next_u64(a.chunk)) return false;
+    } else if (arg == "--deadline-us") {
+      if (!next_u64(a.deadline_us)) return false;
+    } else if (arg == "--max-queue") {
+      if (!next_u64(a.max_queue)) return false;
+    } else if (arg == "--shed-oldest") {
+      a.shed_oldest = true;
     } else if (arg == "--out") {
       if (i + 1 >= argc) return false;
       a.out = argv[++i];
@@ -487,10 +505,22 @@ int cmd_stress(const Args& a) {
       {.max_batch = a.batch,
        .batch_window = std::chrono::microseconds(a.window_us),
        .cache_capacity = a.cache,
-       .use_reference = a.reference},
+       .use_reference = a.reference,
+       .max_queue = a.max_queue,
+       .overload_policy = a.shed_oldest
+                              ? service::OverloadPolicy::kShedOldest
+                              : service::OverloadPolicy::kRejectNew},
       reg);
 
-  std::vector<std::uint64_t> mismatches(a.clients, 0);
+  // Per-client outcome counts: [0]=ok [1]=shed [2]=expired [3]=cancelled,
+  // plus objective mismatches and untyped (non-SolveError) exceptions —
+  // only the last two are process failures.  Shed/expired requests are
+  // the overload/deadline features doing their job, not errors.
+  struct Outcomes {
+    std::uint64_t ok = 0, shed = 0, expired = 0, cancelled = 0;
+    std::uint64_t mismatched = 0, untyped = 0;
+  };
+  std::vector<Outcomes> per_client(a.clients);
   auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(a.clients);
@@ -499,14 +529,32 @@ int cmd_stress(const Args& a) {
       std::vector<std::pair<std::size_t, std::future<engine::SolveResult>>>
           futs;
       futs.reserve(a.requests);
+      service::SubmitOptions sopt;
+      if (a.deadline_us > 0)
+        sopt.timeout = std::chrono::microseconds(a.deadline_us);
       for (std::uint64_t r = 0; r < a.requests; ++r) {
         std::size_t idx = (c * a.requests + r) % pool.size();
-        futs.emplace_back(idx, svc.submit(pool[idx]));
+        futs.emplace_back(idx, svc.submit(pool[idx], sopt));
       }
+      Outcomes& out = per_client[c];
       for (auto& [idx, fut] : futs) {
-        double got = fut.get().objective;
-        double tol = 1e-6 * std::max(1.0, std::abs(expected[idx]));
-        if (std::abs(got - expected[idx]) > tol) ++mismatches[c];
+        try {
+          double got = fut.get().objective;
+          double tol = 1e-6 * std::max(1.0, std::abs(expected[idx]));
+          if (std::abs(got - expected[idx]) > tol)
+            ++out.mismatched;
+          else
+            ++out.ok;
+        } catch (const core::SolveError& e) {
+          switch (e.code()) {
+            case core::SolveErrorCode::kShed: ++out.shed; break;
+            case core::SolveErrorCode::kDeadlineExceeded: ++out.expired; break;
+            case core::SolveErrorCode::kCancelled: ++out.cancelled; break;
+            default: ++out.untyped; break;  // kInternal etc.: real failure
+          }
+        } catch (const std::exception&) {
+          ++out.untyped;
+        }
       }
     });
   }
@@ -515,8 +563,15 @@ int cmd_stress(const Args& a) {
                                               t0)
                     .count();
 
-  std::uint64_t bad = 0;
-  for (std::uint64_t m : mismatches) bad += m;
+  Outcomes sum;
+  for (const Outcomes& o : per_client) {
+    sum.ok += o.ok;
+    sum.shed += o.shed;
+    sum.expired += o.expired;
+    sum.cancelled += o.cancelled;
+    sum.mismatched += o.mismatched;
+    sum.untyped += o.untyped;
+  }
   std::uint64_t total = a.clients * a.requests;
   service::ServiceStats stats = svc.stats();
 
@@ -549,15 +604,26 @@ int cmd_stress(const Args& a) {
       "mean=%.3f ms, max=%.3f ms\n",
       stats.queue.mean_wait_s() * 1e3, stats.queue.max_wait_s * 1e3,
       stats.solver.mean_latency_s() * 1e3, stats.solver.max_latency_s * 1e3);
+  std::printf(
+      "        outcomes: ok=%llu shed=%llu expired=%llu cancelled=%llu\n",
+      static_cast<unsigned long long>(sum.ok),
+      static_cast<unsigned long long>(sum.shed),
+      static_cast<unsigned long long>(sum.expired),
+      static_cast<unsigned long long>(sum.cancelled));
   if (a.metrics)
     std::printf("\n--- metrics ---\n%s", svc.metrics_text().c_str());
-  if (bad != 0 || stats.failed != 0) {
-    std::printf("        FAILED: %llu wrong objective(s), %llu exception(s)\n",
-                static_cast<unsigned long long>(bad),
-                static_cast<unsigned long long>(stats.failed));
+  // Shed/expired/cancelled requests resolved exactly as configured; the
+  // run only fails on wrong answers or failures outside the taxonomy.
+  if (sum.mismatched != 0 || sum.untyped != 0) {
+    std::printf(
+        "        FAILED: %llu wrong objective(s), %llu untyped/internal "
+        "failure(s)\n",
+        static_cast<unsigned long long>(sum.mismatched),
+        static_cast<unsigned long long>(sum.untyped));
     return 1;
   }
-  std::printf("        all objectives verified OK\n");
+  std::printf("        all %llu completed objective(s) verified OK\n",
+              static_cast<unsigned long long>(sum.ok));
   return 0;
 }
 

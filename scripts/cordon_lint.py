@@ -19,6 +19,14 @@ Rules
                         src/core/telemetry.hpp is used somewhere outside
                         that header, and every exported metric name is
                         documented in docs/OBSERVABILITY.md.
+  R5 error-taxonomy     no bare `catch (...)` in production code (src/,
+                        examples/, tools/) that swallows the exception:
+                        the body must rethrow (`throw;`), inspect it
+                        (std::current_exception), or convert it to a
+                        core::SolveError — anything else erases failures
+                        the docs/ROBUSTNESS.md taxonomy promises callers.
+                        Suppress a deliberate swallow with
+                        `// lint: allow-catch (reason)`.
 
 Exit status: 0 clean, 1 violations (printed as path:line: R<n>: message),
 2 usage/internal error.  `--fixtures` self-tests the rules against
@@ -260,6 +268,37 @@ def check_r4(path: str, text: str, usage_text: str,
     return out
 
 
+CATCH_ALL = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+CATCH_CONVERTS = re.compile(r"\bthrow\s*;|\bSolveError\b|"
+                            r"std::current_exception")
+ALLOW_CATCH = "lint: allow-catch"
+
+
+def check_r5(path: str, text: str) -> list[Violation]:
+    """Bare catch(...) must rethrow or convert to the SolveError taxonomy."""
+    stripped = strip_comments(text)
+    lines = text.splitlines()
+    out = []
+    for m in CATCH_ALL.finditer(stripped):
+        brace = stripped.find("{", m.end())
+        if brace == -1:
+            continue
+        end = match_paren(stripped, brace, "{", "}")
+        if CATCH_CONVERTS.search(stripped, brace, end):
+            continue
+        first = line_of(stripped, m.start())
+        last = line_of(stripped, end - 1)
+        window = "\n".join(lines[max(0, first - 3):min(len(lines), last + 1)])
+        if ALLOW_CATCH in window:
+            continue
+        out.append(Violation(path, first, "R5",
+                             "bare 'catch (...)' swallows the exception; "
+                             "rethrow ('throw;'), convert it to a "
+                             "core::SolveError, or annotate "
+                             "'// lint: allow-catch (reason)'"))
+    return out
+
+
 def source_files(root: pathlib.Path, rel_dirs: list[str]) -> list[pathlib.Path]:
     files = []
     for d in rel_dirs:
@@ -290,6 +329,8 @@ def lint_tree(root: pathlib.Path) -> list[Violation]:
         out.extend(check_r4(TELEMETRY_HPP, telemetry.read_text(),
                             "\n".join(usage),
                             docs.read_text() if docs.is_file() else ""))
+    for f in source_files(root, ["src", "examples", "tools"]):
+        out.extend(check_r5(str(f.relative_to(root)), f.read_text()))
     return out
 
 
@@ -309,6 +350,8 @@ def run_fixture(rule: str, path: str, text: str) -> list[Violation]:
         # Empty usage/docs context: the fixture's symbols must count as
         # unused and undocumented.
         return check_r4(path, text, "", "")
+    if rule == "R5":
+        return check_r5(path, text)
     raise ValueError(f"unknown rule {rule}")
 
 

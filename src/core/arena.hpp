@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/core/audit.hpp"
+#include "src/core/fault.hpp"
 #include "src/parallel/scheduler.hpp"
 
 namespace cordon::core {
@@ -91,6 +92,10 @@ class Arena {
   void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
     CORDON_DCHECK(align != 0 && (align & (align - 1)) == 0,
                   "arena alignment must be a power of two");
+    // Chaos: simulate allocation failure.  Fires only from throw-safe
+    // frames (never inside a parallel body); the enclosing ArenaScope's
+    // rewind keeps the epoch discipline intact during unwind.
+    CORDON_FAULT_POINT(fault::Site::kArenaAlloc, throw std::bad_alloc{});
     if (bytes == 0) bytes = 1;
     while (cur_ < chunks_.size()) {
       Chunk& c = chunks_[cur_];

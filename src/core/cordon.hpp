@@ -45,6 +45,7 @@ template <PhaseParallelProblem P>
 std::uint64_t run_phase_parallel(P& problem) {
   std::uint64_t rounds = 0;
   while (!problem.done()) {
+    poll_cancel();  // round boundary: cancellation/deadline check
     telemetry::TraceSpan round_span("phase.round", "solver");
     telemetry::count(telemetry::Counter::kSolverRounds);
     problem.round();
@@ -152,6 +153,7 @@ class ExplicitCordon {
     std::vector<std::uint32_t> frontier;  // reused every round
     std::size_t remaining = n;
     while (remaining > 0) {
+      poll_cancel();  // round boundary: cancellation/deadline check
       ++res.rounds;
       telemetry::TraceSpan round_span("dag.round", "solver");
       telemetry::count(telemetry::Counter::kSolverRounds);
@@ -218,6 +220,7 @@ class ExplicitCordon {
 
     std::size_t remaining = n;
     while (remaining > 0) {
+      poll_cancel();  // round boundary: cancellation/deadline check
       ++res.rounds;
       telemetry::TraceSpan round_span("dag.round", "solver");
       telemetry::count(telemetry::Counter::kSolverRounds);

@@ -69,12 +69,19 @@ enum class Counter : std::uint16_t {
   kEngineBatchRuns,     // BatchExecutor::run invocations
   kEngineSolves,        // requests admitted to a batch run
   kEngineSolveErrors,   // requests whose solver threw / kind unknown
+  kEngineSolvesCancelled,  // solves aborted by cancellation or deadline
   kServiceSubmits,      // CordonService::submit calls admitted
   kServiceBatches,      // dispatcher batches executed
   kServiceCoalesced,    // duplicate requests merged inside a batch
+  kServiceShed,         // requests rejected by admission control
+  kServiceExpired,      // requests failed on a blown/unmeetable deadline
+  kServiceCancelled,    // requests failed via their cancel token
   kSessionAppends,      // session append() calls accepted
   kSessionResumes,      // appends served from saved solver state
   kSessionColdSolves,   // appends that fell back to a cold solve
+  kSessionJournalWrites, // durable journal records written
+  kSessionJournalErrors, // journal write/open failures (session poisoned)
+  kSessionsRecovered,   // sessions rebuilt by CordonService::recover
   kCount
 };
 
@@ -90,6 +97,7 @@ enum class Histogram : std::uint16_t {
   kServiceSubmitNs,     // submit() wall time (serialize + hash + probe)
   kServiceQueueWaitNs,  // admission -> dispatch wait per request
   kServiceBatchSolveNs, // executor run per dispatched batch
+  kServiceRejectWaitNs, // admission -> shed/expired/cancelled wait
   kSolverRoundNs,       // one solver round (recorded only while tracing)
   kCount
 };
@@ -142,15 +150,29 @@ inline constexpr std::array<MetricInfo, kNumCounters> kCounterInfo{{
     {"cordon_engine_solves_total", "Requests admitted to a batch run"},
     {"cordon_engine_solve_errors_total",
      "Requests whose solver threw or whose kind was unknown"},
+    {"cordon_engine_solves_cancelled_total",
+     "Solves aborted mid-run by cancellation or a deadline"},
     {"cordon_service_submits_total", "CordonService::submit calls admitted"},
     {"cordon_service_batches_total", "Dispatcher batches executed"},
     {"cordon_service_coalesced_total",
      "Duplicate requests merged inside a batch"},
+    {"cordon_service_shed_total",
+     "Requests rejected by admission control (queue full or early shed)"},
+    {"cordon_service_expired_total",
+     "Requests failed on a deadline blown or unmeetable at dispatch"},
+    {"cordon_service_cancelled_total",
+     "Requests failed through their cancel token"},
     {"cordon_session_appends_total", "Session append() calls accepted"},
     {"cordon_session_resumes_total",
      "Appends served incrementally from saved solver state"},
     {"cordon_session_cold_solves_total",
      "Appends that fell back to a cold solve of the grown instance"},
+    {"cordon_session_journal_writes_total",
+     "Durable session-journal records written"},
+    {"cordon_session_journal_errors_total",
+     "Session-journal write or open failures (session poisoned)"},
+    {"cordon_sessions_recovered_total",
+     "Sessions rebuilt from journals by CordonService::recover"},
 }};
 
 inline constexpr std::array<MetricInfo, kNumGauges> kGaugeInfo{{
@@ -172,6 +194,8 @@ inline constexpr std::array<MetricInfo, kNumHistograms> kHistogramInfo{{
      "Admission-to-dispatch wait per request (the batching-window cost)"},
     {"cordon_service_batch_solve_seconds",
      "BatchExecutor wall time per dispatched service batch"},
+    {"cordon_service_reject_wait_seconds",
+     "Admission-to-rejection wait for shed/expired/cancelled requests"},
     {"cordon_solver_round_seconds",
      "One phase-parallel solver round (recorded only while tracing is "
      "enabled)"},

@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/cancel.hpp"
 #include "src/core/telemetry.hpp"
 
 namespace cordon::telemetry {
@@ -361,8 +362,15 @@ inline void init_from_env() {
 template <typename StatsT>
 class RoundSpan {
  public:
-  RoundSpan(const char* name, const StatsT& stats) noexcept
+  RoundSpan(const char* name, const StatsT& stats)
       : stats_(stats), span_(name, "solver") {
+    // The per-round cancellation/deadline check rides the one hook every
+    // solver already constructs each round; it must run even with
+    // -DCORDON_TELEMETRY=OFF, so it sits before the kEnabled gate.  May
+    // throw core::SolveError (hence this constructor is not noexcept);
+    // round boundaries sit inside BatchExecutor's containment try or on
+    // a top-level caller's stack, both throw-safe.
+    core::poll_cancel();
     if constexpr (!kEnabled) return;
     auto base = read(stats);
     base_states_ = base.first;

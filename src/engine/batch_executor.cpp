@@ -24,19 +24,47 @@ const char* solve_span_name(const std::string& kind) {
 }
 
 BatchItem solve_one(const ProblemRegistry& reg, const Instance& inst,
-                    bool use_reference) {
+                    bool use_reference, core::CancelToken* token) {
   BatchItem item;
   item.kind = inst.kind;
   telemetry::TraceSpan span(solve_span_name(inst.kind), "engine");
   auto t0 = std::chrono::steady_clock::now();
+  // This try block is the containment boundary every solve runs under:
+  // whatever a solver, parser, or fault injection throws is folded into
+  // the SolveError taxonomy here and never escapes as an exception.
   try {
+    // Within the try, throwing is safe again even when this body runs
+    // as a stolen job (the catch below contains the unwind), and the
+    // request's token governs the round-boundary polls.
+    core::ThrowGate throw_ok(true);
+    core::CancelScope cancel(token);
+    core::poll_cancel();  // deadline already blown / cancelled pre-solve
     const Solver& solver = reg.at(inst.kind);
     item.result = use_reference ? solver.solve_reference(inst)
                                 : solver.solve(inst);
     item.ok = true;
+  } catch (const core::SolveError& e) {
+    item.code = e.code();
+    item.error = e.what();
+  } catch (const std::invalid_argument& e) {
+    item.code = core::SolveErrorCode::kInvalidArgument;
+    item.error = e.what();
+  } catch (const std::out_of_range& e) {
+    // ProblemRegistry::at on an unknown kind.
+    item.code = core::SolveErrorCode::kInvalidArgument;
+    item.error = e.what();
+  } catch (const std::bad_alloc&) {
+    item.code = core::SolveErrorCode::kInternal;
+    item.error = "allocation failed";
   } catch (const std::exception& e) {
+    // ExplicitCordon's stuck-state throw and any other solver
+    // invariant failure.
+    item.code = core::SolveErrorCode::kInternal;
     item.error = e.what();
   }
+  if (!item.ok && (item.code == core::SolveErrorCode::kCancelled ||
+                   item.code == core::SolveErrorCode::kDeadlineExceeded))
+    telemetry::count(telemetry::Counter::kEngineSolvesCancelled);
   auto t1 = std::chrono::steady_clock::now();
   item.latency_s = std::chrono::duration<double>(t1 - t0).count();
   return item;
@@ -78,7 +106,9 @@ BatchReport BatchExecutor::run(std::span<const Instance> queue,
 
   auto solve_into = [&](std::size_t i) {
     BatchItem& item = report.items[i];
-    item = solve_one(*registry_, queue[i], opt.use_reference);
+    core::CancelToken* token =
+        i < opt.tokens.size() ? opt.tokens[i] : nullptr;
+    item = solve_one(*registry_, queue[i], opt.use_reference, token);
     StatSlot& s = slots[parallel::worker_id()];
     if (item.ok)
       s.stats.add(item.result.stats, item.latency_s,

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/cancel.hpp"
 #include "src/core/dp_stats.hpp"
 #include "src/engine/registry.hpp"
 
@@ -33,14 +34,28 @@ struct BatchOptions {
   /// Solve with the naive reference oracle instead of the optimized
   /// algorithm (cross-validation workloads).
   bool use_reference = false;
+  /// Optional per-request cancellation tokens, aligned with the queue
+  /// (empty span or null entries = not cancellable).  A token's deadline
+  /// / cancel flag is polled at solver round boundaries; the pointed-to
+  /// tokens must outlive run().
+  std::span<core::CancelToken* const> tokens{};
 };
 
 struct BatchItem {
   std::string kind;
   bool ok = false;
-  std::string error;  // set when !ok (unknown kind, solver threw)
+  std::string error;  // set when !ok (unknown kind, solver threw, ...)
+  /// Failure class, meaningful only when !ok.  Every exception a solver
+  /// or parser can raise is folded into this taxonomy here, so callers
+  /// (the service, the CLI) never see an untyped error.
+  core::SolveErrorCode code = core::SolveErrorCode::kInternal;
   SolveResult result;
   double latency_s = 0;
+
+  /// The item's failure as a throwable SolveError (requires !ok).
+  [[nodiscard]] core::SolveError to_error() const {
+    return core::SolveError(code, error);
+  }
 };
 
 struct BatchReport {

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <variant>
 
+#include "src/core/fault.hpp"
+
 namespace cordon::engine {
 
 namespace {
@@ -180,6 +182,10 @@ void apply_delta_inplace(Instance& base, const Delta& delta) {
   if (base.payload.index() != delta.append.index())
     reject("payload type does not match instance payload");
   validate_delta(delta);
+  // Chaos: reject before mutation, so the all-or-nothing contract holds
+  // for injected failures exactly as for real validation failures.
+  CORDON_FAULT_POINT(core::fault::Site::kDeltaApply,
+                     reject("fault injection: delta apply"));
   std::visit(ApplyVisitor{base.payload}, delta.append);
 }
 

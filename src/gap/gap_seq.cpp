@@ -2,6 +2,7 @@
 #include <limits>
 #include <memory>
 
+#include "src/core/cancel.hpp"
 #include "src/gap/gap.hpp"
 #include "src/structures/monotonic_queue.hpp"
 
@@ -100,9 +101,11 @@ GapResult gap_seq(const std::vector<std::uint32_t>& a,
   for (std::size_t j = 0; j <= m; ++j)
     col_q[j] = std::make_unique<ColQueue>(n, ColEval{&res, &w1, j, &stats});
 
+  core::PollTicker poll;
   for (std::size_t i = 0; i <= n; ++i) {
     RowQueue row_q(m, RowEval{&res, &w2, i, &stats});
     for (std::size_t j = 0; j <= m; ++j) {
+      poll.tick();
       if (i != 0 || j != 0) {
         double best = kInf;
         if (i > 0) {

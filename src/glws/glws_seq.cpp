@@ -1,5 +1,6 @@
 #include <limits>
 
+#include "src/core/cancel.hpp"
 #include "src/glws/glws.hpp"
 #include "src/structures/monotonic_queue.hpp"
 
@@ -13,7 +14,9 @@ GlwsResult glws_naive(std::size_t n, double d0, const CostFn& w,
   res.d[0] = d0;
   std::vector<double> ev(n + 1);
   ev[0] = e(d0, 0);
+  core::PollTicker poll;
   for (std::size_t i = 1; i <= n; ++i) {
+    poll.tick();
     for (std::size_t j = 0; j < i; ++j) {
       double cand = ev[j] + w(j, i);
       ++res.stats.relaxations;
@@ -50,7 +53,9 @@ GlwsResult glws_sequential(std::size_t n, double d0, const CostFn& w,
   structures::MonotonicQueue<decltype(eval)> queue(n, eval);
   shape == Shape::kConvex ? queue.insert_convex(0) : queue.insert_concave(0);
 
+  core::PollTicker poll;
   for (std::size_t i = 1; i <= n; ++i) {
+    poll.tick();
     std::size_t j = queue.best(i);
     res.best[i] = static_cast<std::uint32_t>(j);
     res.d[i] = ev[j] + w(j, i);

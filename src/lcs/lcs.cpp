@@ -102,7 +102,9 @@ LcsResult sparse_seq_impl(std::span<const std::uint32_t> js) {
   LcsResult res;
   res.pair_dp.assign(js.size(), 0);
   std::vector<std::uint32_t> thresholds;  // strictly increasing j values
+  core::PollTicker poll;
   for (std::size_t p = 0; p < js.size(); ++p) {
+    poll.tick();
     std::uint32_t j = js[p];
     auto it = std::lower_bound(thresholds.begin(), thresholds.end(), j);
     std::uint32_t len = static_cast<std::uint32_t>(it - thresholds.begin());

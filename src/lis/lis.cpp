@@ -70,7 +70,9 @@ LisResult lis_sequential(const std::vector<std::uint64_t>& a) {
   res.dp.assign(n, 1);
   std::vector<std::uint32_t> rank = dense_ranks(a);
   FenwickMax fen(n);
+  core::PollTicker poll;
   for (std::size_t i = 0; i < n; ++i) {
+    poll.tick();
     // Best decision: the max DP among strictly smaller values to the left.
     std::uint32_t best = fen.prefix_max(rank[i]);
     res.dp[i] = best + 1;

@@ -9,9 +9,35 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/fault.hpp"
 #include "src/core/trace.hpp"
 #include "src/parallel/event_count.hpp"
 #include "src/parallel/work_deque.hpp"
+
+// ThreadSanitizer runs link the prebuilt system libstdc++, which is not
+// TSAN-instrumented.  The exception_ptr refcount (eh_ptr.cc, compiled
+// into libstdc++.so) is one of the few cross-thread handoffs living
+// there: the atomic decrement that orders the final free of a thrown
+// exception after every catch-handler's reads is invisible to the
+// runtime, so any promise::set_exception consumed by future::get on
+// another thread — the service's entire typed-failure surface — reports
+// a false race between the catch-block reads and the refcount-zero
+// free.  Suppress exactly that one runtime function via the default
+// suppressions hook (picked up without TSAN_OPTIONS plumbing); races in
+// instrumented code still fire.
+#if defined(__SANITIZE_THREAD__)
+#define CORDON_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CORDON_TSAN_ACTIVE 1
+#endif
+#endif
+#ifdef CORDON_TSAN_ACTIVE
+extern "C" const char* __tsan_default_suppressions();
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:std::__exception_ptr::exception_ptr::_M_release\n";
+}
+#endif
 
 namespace cordon::parallel {
 namespace {
@@ -237,6 +263,12 @@ void Pool::run_job(detail::Job* job) {
     // deliberately not traced: it dominates event volume and carries no
     // scheduling information.
     telemetry::TraceSpan span("steal_run", "sched");
+    // A stolen/helped job has no exception rail above this frame:
+    // anything unwinding out of run() would tear down the worker (or
+    // strand the owner's join).  Mark the whole execution throw-unsafe
+    // so cancellation polls and throwing fault injections inside the
+    // job body stand down (see core/cancel.hpp).
+    core::ThrowGate no_throw(false);
     job->run();
   }
   // A join-waiter may be parked on this job's completion flag.  The
@@ -249,6 +281,8 @@ void Pool::run_job(detail::Job* job) {
   // pairs with wait_for's registration.
   if (join_parked.load(std::memory_order_seq_cst) > 0) {
     telemetry::count(telemetry::Counter::kSchedWakes);
+    // Chaos: delay (never drop) the wake to widen the park/wake race.
+    CORDON_FAULT_DELAY(core::fault::Site::kWorkerWake);
     sleepers.notify_all();
   }
 }
@@ -331,6 +365,8 @@ bool push_job(Job* job) {
   // worker (or join-waiter) can now take the job.  No-op in one fence +
   // one load when nobody is parked.
   telemetry::count(telemetry::Counter::kSchedWakes);
+  // Chaos: delay (never drop) the wake to widen the park/wake race.
+  CORDON_FAULT_DELAY(core::fault::Site::kWorkerWake);
   p.sleepers.notify_one();
   return true;
 }
@@ -430,6 +466,8 @@ bool adopt_external_worker() {
       // The adopter is about to publish forks onto a fresh deque: give
       // a parked worker a head start on stealing them.
       telemetry::count(telemetry::Counter::kSchedWakes);
+      // Chaos: delay (never drop) the wake to widen the park/wake race.
+      CORDON_FAULT_DELAY(core::fault::Site::kWorkerWake);
       p.sleepers.notify_one();
       return true;
     }

@@ -56,6 +56,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/core/cancel.hpp"
+
 namespace cordon::parallel {
 
 namespace detail {
@@ -180,7 +182,16 @@ void par_do(Left&& left, Right&& right) {
     right();
     return;
   }
-  left();
+  {
+    // While the right branch sits published on the deque, an exception
+    // unwinding past this frame would leave a thief pointing at a
+    // destroyed stack job: the left branch runs throw-unsafe (see
+    // core/cancel.hpp — cancellation polls and throwing fault
+    // injections become no-ops).  Restored before the join; once the
+    // job is popped or joined nothing dangles.
+    core::ThrowGate no_throw(false);
+    left();
+  }
   if (detail::Job* mine = detail::pop_job(); mine != nullptr) {
     // Not stolen: run inline (the common, allocation-free fast path).
     static_cast<RightJob*>(mine)->run();

@@ -41,14 +41,27 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/cancel.hpp"
 #include "src/core/dp_stats.hpp"
 #include "src/engine/batch_executor.hpp"
 #include "src/engine/delta.hpp"
 #include "src/engine/instance.hpp"
 #include "src/engine/registry.hpp"
+#include "src/service/journal.hpp"
 #include "src/service/sharded_cache.hpp"
 
 namespace cordon::service {
+
+/// What submit() does when the admission queue is at max_queue.
+enum class OverloadPolicy {
+  /// Fail the NEW request with SolveError{kShed} carrying a retry-after
+  /// hint (clients that can back off should).
+  kRejectNew,
+  /// Admit the new request and fail the OLDEST queued one with
+  /// SolveError{kShed} (freshest-work-wins; suits deadline-bound
+  /// clients whose oldest request is the most likely to be useless).
+  kShedOldest,
+};
 
 struct ServiceOptions {
   /// Largest batch handed to the executor in one dispatch.
@@ -64,6 +77,29 @@ struct ServiceOptions {
   /// Solve with the naive oracle instead of the optimized algorithm
   /// (cross-validation workloads).
   bool use_reference = false;
+  /// Admission-queue bound; 0 = unbounded (no overload protection).
+  std::size_t max_queue = 0;
+  /// Overload behavior when the queue is full (see OverloadPolicy).
+  OverloadPolicy overload_policy = OverloadPolicy::kRejectNew;
+  /// Directory for durable per-session journals (created sessions write
+  /// a journal, recover() replays them).  Empty = journaling off.  The
+  /// directory must already exist.
+  std::string journal_dir;
+};
+
+/// Per-request options for submit().
+struct SubmitOptions {
+  /// Relative deadline, applied as an absolute steady-clock deadline at
+  /// submit time; zero = none.  An expired request fails its future
+  /// with SolveError{kDeadlineExceeded} — at dispatch when it already
+  /// blew (or provably will blow) the deadline, or mid-solve at the
+  /// next solver round boundary.
+  std::chrono::nanoseconds timeout{0};
+  /// Caller-held cancellation handle (token->cancel() fails the future
+  /// with SolveError{kCancelled} at the next round boundary).  Created
+  /// on demand when only `timeout` is set; must outlive the future's
+  /// completion when supplied.
+  std::shared_ptr<core::CancelToken> token;
 };
 
 /// Lifetime counters, readable at any time via CordonService::stats().
@@ -79,6 +115,12 @@ struct ServiceStats {
   std::uint64_t session_appends = 0;     // append() futures fulfilled OK
   std::uint64_t session_resumes = 0;     // appends served from saved state
   std::uint64_t session_cold_solves = 0; // appends that solved from scratch
+  std::uint64_t shed = 0;            // requests rejected by admission control
+  std::uint64_t expired = 0;         // deadline blown or unmeetable
+  std::uint64_t cancelled = 0;       // failed through their cancel token
+  std::uint64_t journal_writes = 0;  // durable journal records written
+  std::uint64_t journal_errors = 0;  // journal failures (session poisoned)
+  std::uint64_t sessions_recovered = 0;  // sessions rebuilt by recover()
   core::CacheStats cache;            // hits / misses / evictions
   core::QueueStats queue;            // submit -> dispatch wait times
   core::BatchStats solver;           // aggregate over executed solves
@@ -93,6 +135,8 @@ struct SessionInfo {
   bool incremental = false;       // family capability (not per-append fate)
   std::uint64_t resumes = 0;      // appends served from saved state
   std::uint64_t cold_solves = 0;  // appends that fell back to a cold solve
+  bool poisoned = false;          // journal failure froze the lineage
+  bool durable = false;           // session carries a live journal
 };
 
 class CordonService {
@@ -112,8 +156,29 @@ class CordonService {
   /// Asynchronous admission: returns immediately.  Cache hits complete
   /// the returned future before submit() returns; misses complete once
   /// the dispatcher's batch containing them finishes.  Throws
-  /// std::runtime_error if called after shutdown().
-  [[nodiscard]] std::future<engine::SolveResult> submit(engine::Instance inst);
+  /// core::SolveError{kShutdown} (a std::runtime_error) if called after
+  /// shutdown().  Every other failure — hostile instance, deadline,
+  /// cancellation, overload shedding, solver fault — resolves the
+  /// RETURNED FUTURE with a core::SolveError; no other exception type
+  /// ever comes out of a submit() future.
+  [[nodiscard]] std::future<engine::SolveResult> submit(engine::Instance inst,
+                                                       SubmitOptions sopt);
+
+  [[nodiscard]] std::future<engine::SolveResult> submit(
+      engine::Instance inst) {
+    return submit(std::move(inst), SubmitOptions{});
+  }
+
+  /// Replays every journal in options().journal_dir, re-creating the
+  /// recorded sessions (same ids, same versions — bit-identical results
+  /// to the uninterrupted lineage, the solvers being deterministic) and
+  /// re-binding their journals for further appends.  A damaged tail
+  /// record — the normal shape of a crash mid-append — is dropped and
+  /// the session resumes from the last durable version; a journal whose
+  /// base is unusable is skipped (left on disk for inspection).
+  /// Returns the recovered session ids.  Call before serving traffic;
+  /// throws std::logic_error when journaling is off.
+  std::vector<std::uint64_t> recover();
 
   // --- stateful solve sessions (docs/SESSIONS.md) ---------------------------
   //
@@ -175,6 +240,8 @@ class CordonService {
     engine::InstanceKey key;
     std::promise<engine::SolveResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::shared_ptr<core::CancelToken> token;  // null = not cancellable
+    bool done = false;  // promise fulfilled (dispatcher-side bookkeeping)
   };
 
   /// One open session.  `mu` serializes appends (the lineage is linear
@@ -191,11 +258,29 @@ class CordonService {
     std::shared_ptr<const engine::SolverState> state;  // null = cold next
     std::uint64_t resumes = 0;
     std::uint64_t cold_solves = 0;
+    std::unique_ptr<SessionJournal> journal;  // null = not durable
+    /// Set when a journal write failed AFTER the in-memory lineage
+    /// advanced: memory is one step ahead of disk, so further appends
+    /// fail (SolveError{kInternal}) instead of widening the divergence.
+    /// recover() resumes from the last durable version.
+    bool poisoned = false;
   };
 
   void dispatch_loop();
   void run_batch(std::vector<Pending> taken);
-  engine::SolveResult append_locked(Session& s, const engine::Delta& delta);
+  void run_batch_impl(std::vector<Pending>& taken);
+  /// Fails one pending request's future with a typed SolveError and
+  /// records the rejection (telemetry + stats + reject-wait histogram).
+  void fail_pending(Pending& p, core::SolveErrorCode code,
+                    const std::string& msg,
+                    std::chrono::nanoseconds retry_after =
+                        std::chrono::nanoseconds{0});
+  /// Backpressure hint for kShed: how long until the queue has likely
+  /// drained enough to admit again (EWMA batch time × queued batches).
+  [[nodiscard]] std::chrono::nanoseconds retry_after_hint(
+      std::size_t queue_depth) const;
+  engine::SolveResult append_locked(Session& s, const engine::Delta& delta,
+                                    bool journal_write = true);
 
   ServiceOptions opt_;
   const engine::ProblemRegistry& registry_;
@@ -216,6 +301,19 @@ class CordonService {
   // stats() merges all three sources into one ServiceStats.
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> hit_completed_{0};
+  // Rejection counters are atomics: the shed/expired paths run on
+  // client threads and the dispatcher both, and stats() must not make
+  // the fast rejection path contend on stats_mu_.
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> rejected_failed_{0};  // futures failed via
+                                                   // fail_pending
+  std::atomic<std::uint64_t> journal_writes_{0};
+  std::atomic<std::uint64_t> journal_errors_{0};
+  // EWMA of one dispatched batch's solve wall time (ns); seeds the
+  // retry-after hint and the "will miss its deadline anyway" early shed.
+  std::atomic<std::uint64_t> ewma_batch_ns_{0};
   mutable std::mutex stats_mu_;  // guards stats_ (cache keeps its own)
   ServiceStats stats_;           // batch-side counters; submitted /
                                  // fast-path completed live above

@@ -42,6 +42,7 @@
 
 #include "src/core/audit.hpp"
 #include "src/core/dp_stats.hpp"
+#include "src/core/fault.hpp"
 
 namespace cordon::service {
 
@@ -240,6 +241,10 @@ class ShardedLruCache {
         return;
       }
     }
+    // Chaos: simulate memory pressure by evicting one extra (unpinned)
+    // entry before the insert.  Pins still protect session bases.
+    if (CORDON_FAULT_CHECK(core::fault::Site::kCacheEvict))
+      evict_one_locked(s);
     if (s.lru.size() >= per_shard_capacity_) evict_one_locked(s);
     s.lru.push_front(Entry{
         hash, std::make_shared<const std::string>(std::move(key)),

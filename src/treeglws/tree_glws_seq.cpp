@@ -1,6 +1,7 @@
 #include <cassert>
 #include <limits>
 
+#include "src/core/cancel.hpp"
 #include "src/structures/monotonic_queue.hpp"  // DecisionInterval
 #include "src/treeglws/tree_glws.hpp"
 
@@ -165,7 +166,9 @@ TreeGlwsResult tree_glws_sequential(const RootedTree& t, double d0,
   };
   std::vector<Frame> stack{{t.root, true}};
   std::vector<JournalEntry> journal(n);
+  core::PollTicker poll;
   while (!stack.empty()) {
+    poll.tick();
     auto [v, entering] = stack.back();
     stack.pop_back();
     if (!entering) {

@@ -1,0 +1,41 @@
+// lint-fixture: R5
+//
+// A bare catch(...) that swallows the exception without rethrowing,
+// inspecting it, or converting it to a core::SolveError.  Never
+// compiled — cordon_lint.py --fixtures must flag the first catch and
+// accept the other three.
+#include <cstdio>
+
+void swallow_everything() {
+  try {
+    std::puts("work");
+  } catch (...) {
+    // R5: the failure is gone — callers see success.
+  }
+}
+
+void rethrow_is_fine() {
+  try {
+    std::puts("work");
+  } catch (...) {
+    throw;
+  }
+}
+
+void converting_is_fine() {
+  try {
+    std::puts("work");
+  } catch (...) {
+    // Mentioning the taxonomy type marks a conversion site; the real
+    // pattern is make_exception_ptr(core::SolveError(...)).
+    std::puts("SolveError");
+    throw;
+  }
+}
+
+void annotated_is_fine() {
+  try {
+    std::puts("work");
+  } catch (...) {  // lint: allow-catch (best-effort cleanup, failure benign)
+  }
+}

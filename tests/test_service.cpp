@@ -217,6 +217,38 @@ TEST(CordonService, DuplicatesInFlightCollapseToOneSolve) {
   EXPECT_GE(stats.coalesced + stats.cache.hits, 11u);
 }
 
+TEST(CordonService, NoExceptionTypeLeaksThroughSubmit) {
+  // The failure surface of submit() is exactly core::SolveError (which
+  // IS-A std::runtime_error, so the older checks above still hold).  A
+  // raw std::invalid_argument / out_of_range / bad_alloc escaping a
+  // solver or the parser must be converted, never forwarded.
+  cs::CordonService svc;
+  ce::GlwsInstance hostile;
+  hostile.n = ce::kMaxDeclaredSize + 1;
+  struct Case {
+    const char* what;
+    ce::Instance inst;
+  };
+  const Case cases[] = {
+      {"unknown kind", ce::Instance{"no-such-problem", ce::LisInstance{{1}}}},
+      {"hostile declared size", ce::Instance{"glws", hostile}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.what);
+    try {
+      (void)svc.submit(c.inst).get();
+      FAIL() << "hostile submit must fail its future";
+    } catch (const cordon::core::SolveError& e) {
+      EXPECT_EQ(e.code(), cordon::core::SolveErrorCode::kInvalidArgument)
+          << e.what();
+      EXPECT_EQ(std::string(e.what()).rfind("invalid_argument: ", 0), 0u)
+          << "what() must carry the taxonomy name: " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << "untyped exception leaked through submit(): " << e.what();
+    }
+  }
+}
+
 TEST(CordonService, FailuresSurfaceAsExceptionsAndAreNotCached) {
   cs::CordonService svc;
   ce::Instance bad{"no-such-problem", ce::LisInstance{{1, 2, 3}}};

@@ -30,6 +30,7 @@
 #include "src/service/service.hpp"
 #include "test_util.hpp"
 
+namespace cc = cordon::core;
 namespace ce = cordon::engine;
 namespace cs = cordon::service;
 namespace cp = cordon::parallel;
@@ -152,11 +153,16 @@ TEST(Sessions, HostileDeltaFailsFutureNotSession) {
   // Kind mismatch: fails that future only.
   ce::Delta wrong_kind = ce::slice_delta(full, 300, 350, 0);
   wrong_kind.kind = "lcs";
-  EXPECT_THROW(svc.append(id, wrong_kind).get(), std::invalid_argument);
+  EXPECT_THROW(svc.append(id, wrong_kind).get(), cc::SolveError);
 
-  // Stale lineage version: same.
-  EXPECT_THROW(svc.append(id, ce::slice_delta(full, 300, 350, 99)).get(),
-               std::invalid_argument);
+  // Stale lineage version: same (typed kInvalidArgument, never a raw
+  // std::invalid_argument — the append future speaks the taxonomy).
+  try {
+    (void)svc.append(id, ce::slice_delta(full, 300, 350, 99)).get();
+    FAIL() << "stale base version must fail the future";
+  } catch (const cc::SolveError& e) {
+    EXPECT_EQ(e.code(), cc::SolveErrorCode::kInvalidArgument);
+  }
 
   // The session is still alive and still resumable after both failures.
   ce::SolveResult r =
@@ -409,7 +415,7 @@ TEST(Sessions, BaseVersionMismatchRejectedLineageIntact) {
 
   // Stale version: rejected, version unchanged.
   EXPECT_THROW(svc.append(id, ce::slice_delta(full, 300, 400, 4)).get(),
-               std::invalid_argument);
+               cc::SolveError);
   auto info = svc.session_info(id);
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->version, 0u);
@@ -427,13 +433,13 @@ TEST(Sessions, UnknownAndClosedSessionsFailTheFuture) {
   ce::Instance full = reg.at("lis").generate({200, 4, 3});
   ce::Delta delta = ce::slice_delta(full, 100, 200, 0);
 
-  EXPECT_THROW(svc.append(777, delta).get(), std::invalid_argument);
+  EXPECT_THROW(svc.append(777, delta).get(), cc::SolveError);
 
   std::uint64_t id = svc.create_session(ce::prefix_instance(full, 100));
   svc.close_session(id);
   svc.close_session(id);  // idempotent
   EXPECT_FALSE(svc.session_info(id).has_value());
-  EXPECT_THROW(svc.append(id, delta).get(), std::invalid_argument);
+  EXPECT_THROW(svc.append(id, delta).get(), cc::SolveError);
 }
 
 TEST(Sessions, CreateSessionRejectsUnknownKind) {
